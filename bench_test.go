@@ -1,0 +1,284 @@
+package colarm
+
+// Benchmarks regenerating the paper's evaluation artifacts (see
+// DESIGN.md §5 for the experiment index and EXPERIMENTS.md for the
+// paper-vs-measured discussion):
+//
+//	BenchmarkFig8*            E1: CFI mining across primary thresholds
+//	BenchmarkFig9Chess        E2: plan costs on chess
+//	BenchmarkFig10Mushroom    E3: plan costs on mushroom
+//	BenchmarkFig11PUMSB       E4: plan costs on PUMSB
+//	BenchmarkOptimizerChoose  E5: plan-selection latency
+//	BenchmarkFig13*           E7: local-vs-global CFI classification
+//	BenchmarkRTree*           A1: packing-scheme ablation
+//	BenchmarkCheckMode*       A2: scan vs bitmap record checks
+//	BenchmarkIndexBuild       offline phase
+//
+// Each benchmark uses the reduced-profile datasets so the suite
+// completes in minutes; `cmd/colarm-bench -full` runs the paper-scale
+// configuration.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"colarm/internal/bench"
+	"colarm/internal/charm"
+	"colarm/internal/datagen"
+	"colarm/internal/itemset"
+	"colarm/internal/plans"
+	"colarm/internal/rtree"
+)
+
+var (
+	envOnce  sync.Once
+	envCache map[string]*bench.Env
+)
+
+func benchEnv(b *testing.B, name string) *bench.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		envCache = map[string]*bench.Env{}
+		for _, spec := range bench.Specs(false, 1) {
+			env, err := bench.Setup(spec)
+			if err != nil {
+				panic(err)
+			}
+			envCache[spec.Name] = env
+		}
+	})
+	env, ok := envCache[name]
+	if !ok {
+		b.Fatalf("no benchmark environment %q", name)
+	}
+	return env
+}
+
+// BenchmarkFig8 mines the closed frequent itemsets at each dataset's
+// lowest swept primary threshold — the expensive end of the Figure 8
+// curve (E1).
+func BenchmarkFig8(b *testing.B) {
+	for _, name := range []string{"chess", "mushroom", "pumsb"} {
+		b.Run(name, func(b *testing.B) {
+			env := benchEnv(b, name)
+			th := env.Spec.Fig8Sweep[len(env.Spec.Fig8Sweep)-1]
+			sp := env.Engine.Index.Space
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := charm.MineSupport(env.Dataset, sp, th)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Closed) == 0 {
+					b.Fatal("no CFIs")
+				}
+			}
+		})
+	}
+}
+
+// planGrid benchmarks one dataset's Figures 9-11 grid: every plan at
+// every focal-subset size, at the dataset's middle minsupport.
+func planGrid(b *testing.B, dataset string) {
+	env := benchEnv(b, dataset)
+	minSupp := env.Spec.MinSupps[len(env.Spec.MinSupps)/2]
+	for _, frac := range env.Spec.DQFracs {
+		for _, kind := range plans.Kinds() {
+			b.Run(fmt.Sprintf("dq=%.0f%%/plan=%s", 100*frac, kind), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(7))
+				regions := make([]*itemset.Region, 4)
+				for i := range regions {
+					regions[i] = env.RandomFocalSubset(rng, frac)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					q := env.QueryFor(regions[i%len(regions)], minSupp, 0.85)
+					if _, err := env.Engine.Executor.Run(kind, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig9Chess(b *testing.B)     { planGrid(b, "chess") }
+func BenchmarkFig10Mushroom(b *testing.B) { planGrid(b, "mushroom") }
+func BenchmarkFig11PUMSB(b *testing.B)    { planGrid(b, "pumsb") }
+
+// BenchmarkOptimizerChoose measures the cost of a COLARM plan-selection
+// decision — the constant-time estimation the paper's online optimizer
+// performs per query (E5's mechanism).
+func BenchmarkOptimizerChoose(b *testing.B) {
+	for _, name := range []string{"chess", "pumsb"} {
+		b.Run(name, func(b *testing.B) {
+			env := benchEnv(b, name)
+			rng := rand.New(rand.NewSource(11))
+			regions := make([]*itemset.Region, 8)
+			for i := range regions {
+				regions[i] = env.RandomFocalSubset(rng, 0.2)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := env.QueryFor(regions[i%len(regions)], env.Spec.MinSupps[0], 0.85)
+				env.Engine.Model.Choose(q)
+			}
+		})
+	}
+}
+
+// BenchmarkFig13 measures the local-vs-global CFI classification pass
+// (E7) at the 10% focal-subset size.
+func BenchmarkFig13(b *testing.B) {
+	for _, name := range []string{"chess", "mushroom"} {
+		b.Run(name, func(b *testing.B) {
+			env := benchEnv(b, name)
+			saved := env.Spec.DQFracs
+			env.Spec.DQFracs = []float64{0.10}
+			defer func() { env.Spec.DQFracs = saved }()
+			rng := rand.New(rand.NewSource(13))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows := env.RunLocalVsGlobal(1, rng)
+				if len(rows) != 1 {
+					b.Fatal("unexpected row count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIndexBuild measures the one-time offline preprocessing phase
+// (CHARM + MIP boxes + packed supported R-tree).
+func BenchmarkIndexBuild(b *testing.B) {
+	for _, name := range []string{"chess", "mushroom"} {
+		b.Run(name, func(b *testing.B) {
+			spec, err := bench.SpecByName(bench.Specs(false, 1), name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := datagen.Generate(spec.Config)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ds Dataset
+			_ = ds
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env, err := Open(&Dataset{rel: d}, Options{PrimarySupport: spec.Primary})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if env.NumPartitions() == 0 {
+					b.Fatal("empty index")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRTreePacking is ablation A1: build and search cost of the
+// MIP R-tree under STR packing, Morton packing, and dynamic insertion.
+func BenchmarkRTreePacking(b *testing.B) {
+	env := benchEnv(b, "chess")
+	idx := env.Engine.Index
+	entries := make([]rtree.Entry, idx.NumMIPs())
+	for id := range entries {
+		entries[id] = rtree.Entry{
+			Box:     idx.Boxes[id],
+			ID:      int32(id),
+			Support: int32(idx.ITTree.Set(id).Support),
+		}
+	}
+	dims := idx.Space.NumAttrs()
+
+	build := func(b *testing.B, f func() *rtree.Tree) {
+		var tr *rtree.Tree
+		for i := 0; i < b.N; i++ {
+			tr = f()
+		}
+		if tr.Size() != len(entries) {
+			b.Fatal("bad tree size")
+		}
+	}
+	b.Run("build/str", func(b *testing.B) {
+		build(b, func() *rtree.Tree {
+			tr, err := rtree.Bulk(append([]rtree.Entry(nil), entries...), dims, 0, rtree.STRPacking, idx.Cards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return tr
+		})
+	})
+	b.Run("build/morton", func(b *testing.B) {
+		build(b, func() *rtree.Tree {
+			tr, err := rtree.Bulk(append([]rtree.Entry(nil), entries...), dims, 0, rtree.MortonPacking, idx.Cards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return tr
+		})
+	})
+	b.Run("build/insert", func(b *testing.B) {
+		build(b, func() *rtree.Tree {
+			tr, err := rtree.New(dims, 0, rtree.QuadraticSplit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range entries {
+				if err := tr.Insert(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return tr
+		})
+	})
+
+	// Search latency per packing.
+	rng := rand.New(rand.NewSource(17))
+	regions := make([]*itemset.Region, 8)
+	for i := range regions {
+		regions[i] = env.RandomFocalSubset(rng, 0.2)
+	}
+	for _, packing := range []rtree.Packing{rtree.STRPacking, rtree.MortonPacking} {
+		tr, err := rtree.Bulk(append([]rtree.Entry(nil), entries...), dims, 0, packing, idx.Cards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("search/"+packing.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := 0
+				tr.Search(regions[i%len(regions)], func(rtree.Entry, itemset.Rel) bool {
+					n++
+					return true
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkCheckMode is ablation A2: the record-level support check as
+// a |D^Q| record scan vs a whole-bitmap intersection, across subset
+// sizes — the tradeoff AutoCheck arbitrates.
+func BenchmarkCheckMode(b *testing.B) {
+	env := benchEnv(b, "mushroom")
+	rng := rand.New(rand.NewSource(19))
+	for _, frac := range []float64{0.5, 0.05} {
+		reg := env.RandomFocalSubset(rng, frac)
+		for _, mode := range []plans.CheckMode{plans.ScanCheck, plans.BitmapCheck} {
+			b.Run(fmt.Sprintf("dq=%.0f%%/%s", 100*frac, mode), func(b *testing.B) {
+				ex := plans.NewExecutor(env.Engine.Index)
+				ex.Mode = mode
+				q := env.QueryFor(reg, env.Spec.MinSupps[0], 0.85)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := ex.Run(plans.SEV, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

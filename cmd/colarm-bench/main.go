@@ -1,0 +1,170 @@
+// Command colarm-bench regenerates the tables and figures of the COLARM
+// paper's experimental evaluation (EDBT 2014, Section 5).
+//
+// Usage:
+//
+//	colarm-bench [flags]
+//
+//	-fig N        regenerate one figure (8, 9, 10, 11, 12 or 13)
+//	-table NAME   regenerate a table: "accuracy" (§5.1) or "simpson" (§5.3)
+//	-all          run everything (default when no -fig/-table given)
+//	-full         paper-scale datasets and thresholds (slower);
+//	              default is the reduced profile with the same shapes
+//	-runs N       random focal subsets per scenario (default 3)
+//	-seed N       generator seed (default 1)
+//
+// Absolute times differ from the paper's C++/2010-era hardware numbers;
+// the reproduced quantities are the shapes: which plans win where, the
+// optimizer's accuracy, and the local-vs-global CFI structure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"colarm/internal/bench"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 0, "figure to regenerate (8-13)")
+		table = flag.String("table", "", `table to regenerate ("accuracy" or "simpson")`)
+		all   = flag.Bool("all", false, "run every experiment")
+		full  = flag.Bool("full", false, "paper-scale profile")
+		runs  = flag.Int("runs", 3, "random focal subsets per scenario")
+		seed  = flag.Int64("seed", 1, "dataset generator seed")
+	)
+	flag.Parse()
+	if err := run(*fig, *table, *all, *full, *runs, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "colarm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, table string, all, full bool, runs int, seed int64) error {
+	if fig == 0 && table == "" {
+		all = true
+	}
+	specs := bench.Specs(full, seed)
+	profile := "reduced"
+	if full {
+		profile = "paper-scale"
+	}
+	fmt.Printf("COLARM experiment harness — %s profile, seed %d, %d runs/scenario\n\n", profile, seed, runs)
+
+	envs := map[string]*bench.Env{}
+	env := func(name string) (*bench.Env, error) {
+		if e, ok := envs[name]; ok {
+			return e, nil
+		}
+		spec, err := bench.SpecByName(specs, name)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		e, err := bench.Setup(spec)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("[setup] %s: %d records, %d MIPs at primary %.0f%% (%.1fs)\n",
+			name, e.Dataset.NumRecords(), e.Engine.Index.NumMIPs(), 100*spec.Primary,
+			time.Since(start).Seconds())
+		envs[name] = e
+		return e, nil
+	}
+
+	datasets := []string{"chess", "mushroom", "pumsb"}
+	figForDataset := map[string]int{"chess": 9, "mushroom": 10, "pumsb": 11}
+
+	// Figure 8.
+	if all || fig == 8 {
+		fmt.Println()
+		for _, name := range datasets {
+			e, err := env(name)
+			if err != nil {
+				return err
+			}
+			rows, err := e.RunFig8()
+			if err != nil {
+				return err
+			}
+			bench.PrintFig8(os.Stdout, name, rows)
+		}
+	}
+
+	// Figures 9-11 (+12 aggregates from the same cells).
+	var gainRows []bench.GainRow
+	wantGains := all || fig == 12
+	for _, name := range datasets {
+		if !(all || fig == figForDataset[name] || wantGains) {
+			continue
+		}
+		e, err := env(name)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(seed + 100))
+		cells, err := e.RunPlanGrid(0.85, runs, rng)
+		if err != nil {
+			return err
+		}
+		if all || fig == figForDataset[name] {
+			fmt.Printf("Figure %d:\n", figForDataset[name])
+			bench.PrintPlanGrid(os.Stdout, name, cells)
+		}
+		gainRows = append(gainRows, bench.Gains(name, cells))
+	}
+	if wantGains && len(gainRows) > 0 {
+		bench.PrintGains(os.Stdout, gainRows)
+	}
+
+	// Accuracy table (§5.1).
+	if all || table == "accuracy" {
+		var results []bench.AccuracyResult
+		for _, name := range datasets {
+			e, err := env(name)
+			if err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(seed + 200))
+			res, err := e.RunAccuracy(runs, 0.05, rng)
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
+		}
+		bench.PrintAccuracy(os.Stdout, results, 0.05)
+	}
+
+	// Figure 13.
+	if all || fig == 13 {
+		for _, name := range datasets {
+			e, err := env(name)
+			if err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(seed + 300))
+			rows := e.RunLocalVsGlobal(runs, rng)
+			bench.PrintFig13(os.Stdout, name, rows)
+		}
+	}
+
+	// Simpson anecdote (§5.3).
+	if all || table == "simpson" {
+		e, err := env("mushroom")
+		if err != nil {
+			return err
+		}
+		// The mushroom generator plants subpopulation patterns inside
+		// m01 = m011 (mirroring the stalk-shape=tapering anecdote).
+		rep, err := e.RunSimpson("m01", "m011", 0.69, 0.45, 8)
+		if err != nil {
+			return err
+		}
+		bench.PrintSimpson(os.Stdout, rep)
+	}
+	return nil
+}

@@ -1,0 +1,405 @@
+// Package colarm is a library for cost-based optimized localized
+// association rule mining, reproducing the COLARM system of Mukherji,
+// Rundensteiner and Ward (EDBT 2014).
+//
+// Classical rule miners discover global rules valid across an entire
+// dataset. COLARM answers localized mining queries online: the analyst
+// selects, at query time, a focal subset of the data (per-attribute
+// value selections), the attributes allowed in rule bodies, and
+// minimum support/confidence thresholds within that subset; the system
+// returns the rules that hold locally — rules that are often invisible
+// globally (Simpson's paradox).
+//
+// The library follows the preprocess-once-query-many paradigm. Open
+// runs the offline phase: it mines the closed frequent itemsets at a
+// primary support threshold (CHARM), stores them in a two-level
+// MIP-index — a packed, support-annotated R-tree over the itemsets'
+// multidimensional bounding boxes plus a closed IT-tree over the
+// itemsets and their tidsets — and precomputes the statistics the cost
+// model needs. Mine then answers each query with one of six execution
+// plans (S-E-V, S-VS, SS-E-V, SS-VS, SS-E-U-V, or a from-scratch ARM
+// baseline), chosen per query by the cost-based optimizer.
+//
+// Quickstart:
+//
+//	ds, _ := colarm.Salary()            // the paper's Table 1 dataset
+//	eng, _ := colarm.Open(ds, colarm.Options{PrimarySupport: 0.18})
+//	res, _ := eng.Mine(colarm.Query{
+//	    Range:          map[string][]string{"Location": {"Seattle"}, "Gender": {"F"}},
+//	    ItemAttributes: []string{"Age", "Salary"},
+//	    MinSupport:     0.70,
+//	    MinConfidence:  0.95,
+//	})
+//	for _, r := range res.Rules {
+//	    fmt.Println(r)
+//	}
+package colarm
+
+import (
+	"fmt"
+	"strings"
+
+	"colarm/internal/colarmql"
+	"colarm/internal/core"
+	"colarm/internal/plans"
+	"colarm/internal/rtree"
+	"colarm/internal/rules"
+)
+
+// Packing selects the R-tree bulk-loading scheme for the MIP-index.
+type Packing int
+
+const (
+	// STR packs with Sort-Tile-Recursive order (default).
+	STR Packing = iota
+	// Morton packs with Z-order curve order.
+	Morton
+)
+
+// Plan identifies one of the six execution plans of the paper.
+type Plan int
+
+const (
+	// Auto lets the cost-based optimizer choose (default).
+	Auto Plan = iota
+	// SEV is the basic SEARCH→ELIMINATE→VERIFY pipeline.
+	SEV
+	// SVS applies selection push-up (merged SUPPORTED-VERIFY).
+	SVS
+	// SSEV adds the supported R-tree filter.
+	SSEV
+	// SSVS combines the supported filter with selection push-up.
+	SSVS
+	// SSEUV adds differential treatment of contained vs partially
+	// overlapped partitions.
+	SSEUV
+	// ARM is the traditional from-scratch mining baseline.
+	ARM
+)
+
+// String returns the paper's plan name.
+func (p Plan) String() string {
+	if p == Auto {
+		return "auto"
+	}
+	return kindOf(p).String()
+}
+
+// ParsePlan resolves a plan name ("S-E-V", "ARM", "auto", ...).
+func ParsePlan(s string) (Plan, error) {
+	if strings.EqualFold(s, "auto") || s == "" {
+		return Auto, nil
+	}
+	k, err := plans.ParseKind(s)
+	if err != nil {
+		return 0, err
+	}
+	return planOf(k), nil
+}
+
+func kindOf(p Plan) plans.Kind {
+	switch p {
+	case SEV:
+		return plans.SEV
+	case SVS:
+		return plans.SVS
+	case SSEV:
+		return plans.SSEV
+	case SSVS:
+		return plans.SSVS
+	case SSEUV:
+		return plans.SSEUV
+	case ARM:
+		return plans.ARM
+	}
+	panic("colarm: no plan kind for Auto")
+}
+
+func planOf(k plans.Kind) Plan {
+	switch k {
+	case plans.SEV:
+		return SEV
+	case plans.SVS:
+		return SVS
+	case plans.SSEV:
+		return SSEV
+	case plans.SSVS:
+		return SSVS
+	case plans.SSEUV:
+		return SSEUV
+	case plans.ARM:
+		return ARM
+	}
+	return Auto
+}
+
+// Options configures the offline preprocessing phase.
+type Options struct {
+	// PrimarySupport is the offline primary support threshold in
+	// (0,1]: itemsets below it are not prestored and thus invisible to
+	// queries (the POQM assumption).
+	PrimarySupport float64
+	// Fanout is the R-tree node capacity; 0 selects the default (16).
+	Fanout int
+	// Packing selects the R-tree bulk-loading scheme.
+	Packing Packing
+	// Calibrate micro-benchmarks the cost model's unit costs on this
+	// machine; when false, hardware-typical defaults are used.
+	Calibrate bool
+	// CheckMode selects the record-level support check implementation:
+	// "auto" (default: per-query cheaper choice), "scan" (proportional
+	// to the focal subset size, the paper's cost structure) or
+	// "bitmap" (proportional to the dataset size).
+	CheckMode string
+}
+
+// Query is one localized mining request.
+type Query struct {
+	// Range maps attribute names to the selected value labels,
+	// defining the focal subset; attributes not listed span their
+	// whole domain. Selections must align to the discretized values.
+	Range map[string][]string
+	// ItemAttributes lists the attributes allowed in rule bodies;
+	// empty means all attributes.
+	ItemAttributes []string
+	// MinSupport is the minimum rule support as a fraction of the
+	// focal subset, in (0,1].
+	MinSupport float64
+	// MinConfidence is the minimum rule confidence in [0,1].
+	MinConfidence float64
+	// MaxConsequent caps rule consequent length (0 = unlimited).
+	MaxConsequent int
+	// Plan forces a specific execution plan; Auto uses the optimizer.
+	Plan Plan
+}
+
+// Rule is one localized association rule with its interestingness
+// measures. Counts are absolute within the focal subset.
+type Rule struct {
+	Antecedent []string // item labels "Attr=value"
+	Consequent []string
+
+	Support    float64 // fraction of the focal subset
+	Confidence float64
+	Lift       float64
+	Cosine     float64
+	Kulczynski float64
+
+	SupportCount    int
+	AntecedentCount int
+	SubsetSize      int
+}
+
+// String renders the rule as "(A=a, B=b) => (C=c) [supp=75.0% conf=100.0%]".
+func (r Rule) String() string {
+	return fmt.Sprintf("(%s) => (%s)  [supp=%.1f%% conf=%.1f%%]",
+		strings.Join(r.Antecedent, ", "), strings.Join(r.Consequent, ", "),
+		100*r.Support, 100*r.Confidence)
+}
+
+// PlanEstimate is the optimizer's cost prediction for one plan.
+type PlanEstimate struct {
+	Plan       Plan
+	Cost       float64 // model cost (nanosecond scale)
+	Candidates float64 // estimated candidate itemsets
+	Qualified  float64 // estimated itemsets reaching rule generation
+}
+
+// Stats reports what one query execution did.
+type Stats struct {
+	Plan            Plan
+	SubsetSize      int
+	MinSupportCount int
+	Candidates      int
+	Contained       int
+	PartialOverlap  int
+	SupportChecks   int
+	RulesEmitted    int
+	DurationNanos   int64
+}
+
+// Result is the answer to a localized mining query.
+type Result struct {
+	Rules     []Rule
+	Stats     Stats
+	Estimates []PlanEstimate // present when the optimizer ran (Plan == Auto)
+}
+
+// Engine is a ready-to-query COLARM instance over one dataset.
+type Engine struct {
+	eng *core.Engine
+	ds  *Dataset
+}
+
+// Open runs the offline preprocessing phase over the dataset and
+// returns a query-ready engine.
+func Open(ds *Dataset, opts Options) (*Engine, error) {
+	if ds == nil || ds.rel == nil {
+		return nil, fmt.Errorf("colarm: nil dataset")
+	}
+	packing := rtree.STRPacking
+	if opts.Packing == Morton {
+		packing = rtree.MortonPacking
+	}
+	mode, err := checkModeOf(opts)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(ds.rel, core.Options{
+		PrimarySupport: opts.PrimarySupport,
+		Fanout:         opts.Fanout,
+		Packing:        packing,
+		CalibrateUnits: opts.Calibrate,
+		CheckMode:      mode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng, ds: ds}, nil
+}
+
+// NumPartitions returns the number of prestored multidimensional
+// itemset partitions (closed frequent itemsets).
+func (e *Engine) NumPartitions() int { return e.eng.Index.NumMIPs() }
+
+// Dataset returns the engine's dataset.
+func (e *Engine) Dataset() *Dataset { return e.ds }
+
+// Mine answers a localized mining query.
+func (e *Engine) Mine(q Query) (*Result, error) {
+	pq, err := e.eng.BuildQuery(&core.QuerySpec{
+		Range:         q.Range,
+		ItemAttrs:     q.ItemAttributes,
+		MinSupport:    q.MinSupport,
+		MinConfidence: q.MinConfidence,
+		MaxConsequent: q.MaxConsequent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if q.Plan != Auto {
+		res, err := e.eng.MineWith(kindOf(q.Plan), pq)
+		if err != nil {
+			return nil, err
+		}
+		return e.wrap(res, nil), nil
+	}
+	res, ests, err := e.eng.Mine(pq)
+	if err != nil {
+		return nil, err
+	}
+	out := e.wrap(res, nil)
+	for _, est := range ests {
+		out.Estimates = append(out.Estimates, PlanEstimate{
+			Plan:       planOf(est.Plan),
+			Cost:       est.Total,
+			Candidates: est.Candidates,
+			Qualified:  est.Qualified,
+		})
+	}
+	return out, nil
+}
+
+// Explain returns the optimizer's per-plan cost estimates for a query
+// without executing it. The first estimate in the returned slice is not
+// necessarily the chosen one; the minimum cost wins.
+func (e *Engine) Explain(q Query) ([]PlanEstimate, error) {
+	pq, err := e.eng.BuildQuery(&core.QuerySpec{
+		Range:         q.Range,
+		ItemAttrs:     q.ItemAttributes,
+		MinSupport:    q.MinSupport,
+		MinConfidence: q.MinConfidence,
+		MaxConsequent: q.MaxConsequent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, ests, err := e.eng.Explain(pq)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PlanEstimate, 0, len(ests))
+	for _, est := range ests {
+		out = append(out, PlanEstimate{
+			Plan:       planOf(est.Plan),
+			Cost:       est.Total,
+			Candidates: est.Candidates,
+			Qualified:  est.Qualified,
+		})
+	}
+	return out, nil
+}
+
+// MineQL parses and executes a query written in the paper's query
+// language:
+//
+//	REPORT LOCALIZED ASSOCIATION RULES
+//	FROM salary
+//	WHERE RANGE Location = (Seattle), Gender = (F)
+//	AND ITEM ATTRIBUTES Age, Salary
+//	HAVING minsupport = 70% AND minconfidence = 95%;
+//
+// The FROM clause must name this engine's dataset. An optional
+// "USING PLAN <name>" clause forces a plan.
+func (e *Engine) MineQL(src string) (*Result, error) {
+	st, err := colarmql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.EqualFold(st.Dataset, e.ds.rel.Name) {
+		return nil, fmt.Errorf("colarm: query targets dataset %q, engine holds %q", st.Dataset, e.ds.rel.Name)
+	}
+	q := Query{
+		Range:          map[string][]string{},
+		ItemAttributes: st.ItemAttrs,
+		MinSupport:     st.MinSupport,
+		MinConfidence:  st.MinConfidence,
+	}
+	for _, rc := range st.Range {
+		q.Range[rc.Attr] = rc.Values
+	}
+	if st.Plan != "" {
+		p, err := ParsePlan(st.Plan)
+		if err != nil {
+			return nil, err
+		}
+		q.Plan = p
+	}
+	return e.Mine(q)
+}
+
+func (e *Engine) wrap(res *plans.Result, _ error) *Result {
+	out := &Result{
+		Stats: Stats{
+			Plan:            planOf(res.Stats.Plan),
+			SubsetSize:      res.Stats.SubsetSize,
+			MinSupportCount: res.Stats.MinCount,
+			Candidates:      res.Stats.Candidates,
+			Contained:       res.Stats.Contained,
+			PartialOverlap:  res.Stats.PartialOverlap,
+			SupportChecks:   res.Stats.SupportChecks,
+			RulesEmitted:    res.Stats.RulesEmitted,
+			DurationNanos:   res.Stats.Duration.Nanoseconds(),
+		},
+	}
+	sp := e.eng.Index.Space
+	for _, r := range res.Rules {
+		out.Rules = append(out.Rules, wrapRule(r, sp.Labels(r.Antecedent), sp.Labels(r.Consequent)))
+	}
+	return out
+}
+
+func wrapRule(r rules.Rule, ant, cons []string) Rule {
+	return Rule{
+		Antecedent:      ant,
+		Consequent:      cons,
+		Support:         r.Support,
+		Confidence:      r.Confidence,
+		Lift:            r.Lift(),
+		Cosine:          r.Cosine(),
+		Kulczynski:      r.Kulczynski(),
+		SupportCount:    r.SupportCount,
+		AntecedentCount: r.AntecedentCount,
+		SubsetSize:      r.SubsetSize,
+	}
+}

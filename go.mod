@@ -1,0 +1,3 @@
+module colarm
+
+go 1.22

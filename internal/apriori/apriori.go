@@ -1,0 +1,198 @@
+// Package apriori implements the classic level-wise frequent itemset
+// miner of Agrawal & Srikant (VLDB 1994). COLARM uses it in two roles:
+// as a cross-checking oracle for the CHARM miner (every closed frequent
+// itemset must appear among Apriori's frequent itemsets with the same
+// support), and as an alternative engine for the traditional ARM baseline
+// plan.
+package apriori
+
+import (
+	"fmt"
+	"sort"
+
+	"colarm/internal/bitset"
+	"colarm/internal/itemset"
+	"colarm/internal/relation"
+)
+
+// FrequentSet is one frequent itemset with its tidset and support.
+type FrequentSet struct {
+	Items   itemset.Set
+	Tids    *bitset.Set
+	Support int
+}
+
+// Result holds all frequent itemsets grouped by level (itemset length);
+// Levels[k] holds the (k+1)-itemsets.
+type Result struct {
+	Levels     [][]*FrequentSet
+	NumRecords int
+	MinCount   int
+}
+
+// All returns every frequent itemset across levels in deterministic
+// order.
+func (r *Result) All() []*FrequentSet {
+	var out []*FrequentSet
+	for _, lvl := range r.Levels {
+		out = append(out, lvl...)
+	}
+	return out
+}
+
+// Mine runs Apriori over the dataset at an absolute support count.
+// maxLen caps the itemset length explored (0 means unlimited) — the ARM
+// plan uses the cap to bound worst-case query latency.
+func Mine(d *relation.Dataset, sp *itemset.Space, minCount, maxLen int) (*Result, error) {
+	return MineTidsets(itemset.ItemTidsets(d, sp), d.NumRecords(), minCount, maxLen)
+}
+
+// MineTidsets runs Apriori over per-item tidsets; nil tidsets exclude the
+// item from the universe.
+func MineTidsets(tidsets []*bitset.Set, numRecords, minCount, maxLen int) (*Result, error) {
+	if minCount < 1 {
+		return nil, fmt.Errorf("apriori: minimum support count %d < 1", minCount)
+	}
+	if maxLen < 0 {
+		return nil, fmt.Errorf("apriori: maxLen %d < 0", maxLen)
+	}
+	res := &Result{NumRecords: numRecords, MinCount: minCount}
+
+	// Level 1: frequent singletons in item order.
+	var level []*FrequentSet
+	for it, t := range tidsets {
+		if t == nil {
+			continue
+		}
+		if c := t.Count(); c >= minCount {
+			level = append(level, &FrequentSet{
+				Items:   itemset.Set{itemset.Item(it)},
+				Tids:    t.Clone(),
+				Support: c,
+			})
+		}
+	}
+	for len(level) > 0 {
+		res.Levels = append(res.Levels, level)
+		if maxLen > 0 && len(res.Levels) >= maxLen {
+			break
+		}
+		level = nextLevel(level, minCount)
+	}
+	return res, nil
+}
+
+// nextLevel generates and counts the (k+1)-candidates from the frequent
+// k-itemsets using the prefix join plus downward-closure pruning.
+func nextLevel(level []*FrequentSet, minCount int) []*FrequentSet {
+	// Index current level for the pruning subset tests.
+	have := make(map[string]bool, len(level))
+	for _, f := range level {
+		have[f.Items.Key()] = true
+	}
+	var next []*FrequentSet
+	for i := 0; i < len(level); i++ {
+		fi := level[i]
+		k := len(fi.Items)
+		for j := i + 1; j < len(level); j++ {
+			fj := level[j]
+			// Prefix join: first k-1 items equal, last item of j greater.
+			if !samePrefix(fi.Items, fj.Items) {
+				// level is sorted by items; once prefixes diverge no
+				// later j can match i.
+				break
+			}
+			cand := append(fi.Items.Clone(), fj.Items[k-1])
+			if !allSubsetsFrequent(cand, have) {
+				continue
+			}
+			tids := bitset.Intersect(fi.Tids, fj.Tids)
+			if c := tids.Count(); c >= minCount {
+				next = append(next, &FrequentSet{Items: cand, Tids: tids, Support: c})
+			}
+		}
+	}
+	sort.Slice(next, func(a, b int) bool { return lessItems(next[a].Items, next[b].Items) })
+	return next
+}
+
+func samePrefix(a, b itemset.Set) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return a[len(a)-1] < b[len(b)-1]
+}
+
+// allSubsetsFrequent applies downward closure: every k-subset of the
+// (k+1)-candidate must be frequent.
+func allSubsetsFrequent(cand itemset.Set, have map[string]bool) bool {
+	if len(cand) <= 2 {
+		return true // both generating subsets are frequent by construction
+	}
+	tmp := make(itemset.Set, 0, len(cand)-1)
+	for drop := 0; drop < len(cand); drop++ {
+		tmp = tmp[:0]
+		for i, it := range cand {
+			if i != drop {
+				tmp = append(tmp, it)
+			}
+		}
+		if !have[tmp.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+func lessItems(a, b itemset.Set) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Support looks up the support of an exact itemset in the result, or -1
+// if it is not frequent.
+func (r *Result) Support(s itemset.Set) int {
+	k := len(s)
+	if k == 0 || k > len(r.Levels) {
+		return -1
+	}
+	key := s.Key()
+	for _, f := range r.Levels[k-1] {
+		if f.Items.Key() == key {
+			return f.Support
+		}
+	}
+	return -1
+}
+
+// ClosedOnly filters the frequent itemsets down to the closed ones
+// (no frequent superset with equal support); used to cross-check CHARM.
+func (r *Result) ClosedOnly() []*FrequentSet {
+	var out []*FrequentSet
+	for li, lvl := range r.Levels {
+		for _, f := range lvl {
+			closed := true
+			if li+1 < len(r.Levels) {
+				for _, g := range r.Levels[li+1] {
+					if g.Support == f.Support && f.Items.SubsetOf(g.Items) {
+						closed = false
+						break
+					}
+				}
+			}
+			if closed {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}

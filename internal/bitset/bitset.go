@@ -1,0 +1,281 @@
+// Package bitset provides dense fixed-capacity bitsets used throughout
+// COLARM as tidsets: sets of record identifiers attached to items and
+// itemsets. The hot operations for the miners and the online plans are
+// intersection, intersection cardinality, and population count, so those
+// are implemented without allocation where possible.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bitset over the universe [0, Len()). The zero value is an
+// empty set of capacity zero; use New to create a set that can hold ids.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns an empty Set capable of holding ids in [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIDs returns a Set of capacity n containing exactly the given ids.
+// Ids outside [0, n) are ignored.
+func FromIDs(n int, ids ...int) *Set {
+	s := New(n)
+	for _, id := range ids {
+		if id >= 0 && id < n {
+			s.Add(id)
+		}
+	}
+	return s
+}
+
+// Len returns the capacity (universe size) of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts id into the set. Ids outside [0, Len()) panic, matching the
+// out-of-range behaviour of slice indexing.
+func (s *Set) Add(id int) {
+	s.words[id/wordBits] |= 1 << (uint(id) % wordBits)
+}
+
+// Remove deletes id from the set.
+func (s *Set) Remove(id int) {
+	s.words[id/wordBits] &^= 1 << (uint(id) % wordBits)
+}
+
+// Contains reports whether id is in the set. Ids outside [0, Len()) are
+// reported as absent.
+func (s *Set) Contains(id int) bool {
+	if id < 0 || id >= s.n {
+		return false
+	}
+	return s.words[id/wordBits]&(1<<(uint(id)%wordBits)) != 0
+}
+
+// Count returns the number of ids in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IsEmpty reports whether the set contains no ids.
+func (s *Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all ids from the set, keeping its capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill adds every id in [0, Len()) to the set.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim zeroes the bits beyond capacity in the last word so Count and
+// equality stay exact after Fill or Complement.
+func (s *Set) trim() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// And replaces s with s ∩ t. The sets must have equal capacity.
+func (s *Set) And(t *Set) {
+	s.checkCompat(t)
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// Or replaces s with s ∪ t. The sets must have equal capacity.
+func (s *Set) Or(t *Set) {
+	s.checkCompat(t)
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// AndNot replaces s with s \ t. The sets must have equal capacity.
+func (s *Set) AndNot(t *Set) {
+	s.checkCompat(t)
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Complement replaces s with its complement within [0, Len()).
+func (s *Set) Complement() {
+	for i := range s.words {
+		s.words[i] = ^s.words[i]
+	}
+	s.trim()
+}
+
+// Intersect returns a new set holding s ∩ t.
+func Intersect(s, t *Set) *Set {
+	s.checkCompat(t)
+	r := New(s.n)
+	for i := range s.words {
+		r.words[i] = s.words[i] & t.words[i]
+	}
+	return r
+}
+
+// Union returns a new set holding s ∪ t.
+func Union(s, t *Set) *Set {
+	s.checkCompat(t)
+	r := New(s.n)
+	for i := range s.words {
+		r.words[i] = s.words[i] | t.words[i]
+	}
+	return r
+}
+
+// Difference returns a new set holding s \ t.
+func Difference(s, t *Set) *Set {
+	s.checkCompat(t)
+	r := New(s.n)
+	for i := range s.words {
+		r.words[i] = s.words[i] &^ t.words[i]
+	}
+	return r
+}
+
+// AndCount returns |s ∩ t| without materializing the intersection. This is
+// the record-level support check on the hot path of ELIMINATE and VERIFY.
+func AndCount(s, t *Set) int {
+	s.checkCompat(t)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & t.words[i])
+	}
+	return c
+}
+
+// Equal reports whether s and t hold exactly the same ids and capacity.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every id of s is also in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	s.checkCompat(t)
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and t share at least one id.
+func (s *Set) Intersects(t *Set) bool {
+	s.checkCompat(t)
+	for i, w := range s.words {
+		if w&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for every id in ascending order. Iteration stops early
+// if fn returns false.
+func (s *Set) ForEach(fn func(id int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + tz) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// IDs returns the ids in the set in ascending order.
+func (s *Set) IDs() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(id int) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// Hash returns a cheap order-independent signature of the set contents.
+// CHARM uses it to bucket candidate closed itemsets by tidset for
+// subsumption checking; collisions are resolved with Equal.
+func (s *Set) Hash() uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for _, w := range s.words {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}
+
+// String renders the set as "{1, 5, 9}" for debugging and test failure
+// messages.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(id int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", id)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *Set) checkCompat(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, t.n))
+	}
+}

@@ -1,0 +1,41 @@
+package bitset
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MarshalBinary encodes the set as an 8-byte little-endian capacity
+// followed by its words. It implements encoding.BinaryMarshaler so sets
+// can be embedded in serialized index snapshots.
+func (s *Set) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 8+8*len(s.words))
+	binary.LittleEndian.PutUint64(buf, uint64(s.n))
+	for i, w := range s.words {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a set written by MarshalBinary.
+func (s *Set) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("bitset: truncated header (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint64(data)
+	const maxBits = 1 << 40 // sanity bound against corrupted input
+	if n > maxBits {
+		return fmt.Errorf("bitset: implausible capacity %d", n)
+	}
+	words := (int(n) + wordBits - 1) / wordBits
+	if len(data) != 8+8*words {
+		return fmt.Errorf("bitset: capacity %d needs %d payload bytes, have %d", n, 8*words, len(data)-8)
+	}
+	s.n = int(n)
+	s.words = make([]uint64, words)
+	for i := range s.words {
+		s.words[i] = binary.LittleEndian.Uint64(data[8+8*i:])
+	}
+	s.trim()
+	return nil
+}

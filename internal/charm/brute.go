@@ -1,0 +1,65 @@
+package charm
+
+import (
+	"sort"
+
+	"colarm/internal/bitset"
+	"colarm/internal/itemset"
+)
+
+// BruteForceClosed enumerates every closed frequent itemset by exhaustive
+// depth-first search over the item lattice. It exists as the reference
+// oracle for tests — exponential, only for small inputs.
+func BruteForceClosed(tidsets []*bitset.Set, numRecords, minCount int) []*ClosedSet {
+	var items []itemset.Item
+	for it, t := range tidsets {
+		if t != nil && t.Count() >= minCount {
+			items = append(items, itemset.Item(it))
+		}
+	}
+	var out []*ClosedSet
+	var dfs func(start int, cur itemset.Set, tids *bitset.Set)
+	dfs = func(start int, cur itemset.Set, tids *bitset.Set) {
+		if len(cur) > 0 && isClosed(cur, tids, tidsets) {
+			out = append(out, &ClosedSet{Items: cur.Clone(), Tids: tids.Clone(), Support: tids.Count()})
+		}
+		for k := start; k < len(items); k++ {
+			it := items[k]
+			nt := bitset.Intersect(tids, tidsets[it])
+			if nt.Count() < minCount {
+				continue
+			}
+			dfs(k+1, append(cur.Clone(), it), nt)
+		}
+	}
+	full := bitset.New(numRecords)
+	full.Fill()
+	dfs(0, nil, full)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Items, out[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// isClosed reports whether no item outside cur preserves the tidset when
+// added — the definition of closure.
+func isClosed(cur itemset.Set, tids *bitset.Set, tidsets []*bitset.Set) bool {
+	for it, t := range tidsets {
+		if t == nil || cur.Contains(itemset.Item(it)) {
+			continue
+		}
+		if tids.SubsetOf(t) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,197 @@
+// Package charm implements the CHARM algorithm of Zaki & Hsiao (SDM 2002)
+// for mining closed frequent itemsets (CFIs) over vertical tidsets. COLARM
+// runs CHARM once, offline, at the primary support threshold to populate
+// the MIP-index (paper Section 3.2); the ARM baseline plan re-runs it at
+// query time over the extracted focal subset.
+package charm
+
+import (
+	"fmt"
+	"sort"
+
+	"colarm/internal/bitset"
+	"colarm/internal/itemset"
+	"colarm/internal/relation"
+)
+
+// ClosedSet is one closed frequent itemset together with its tidset. The
+// tidset always refers to record ids of the dataset the miner ran on.
+type ClosedSet struct {
+	Items   itemset.Set
+	Tids    *bitset.Set
+	Support int // == Tids.Count(), cached
+}
+
+// Result is the output of a mining run in a deterministic order (by
+// itemset length, then by item ids).
+type Result struct {
+	Closed     []*ClosedSet
+	NumRecords int
+	MinCount   int
+}
+
+// Mine runs CHARM over the dataset at the given minimum support count
+// (absolute number of records; use MineSupport for a fraction). The
+// returned CFIs are deterministic for a given dataset.
+func Mine(d *relation.Dataset, sp *itemset.Space, minCount int) (*Result, error) {
+	tidsets := itemset.ItemTidsets(d, sp)
+	return MineTidsets(tidsets, d.NumRecords(), minCount)
+}
+
+// MineSupport runs CHARM at a relative minimum support in (0, 1].
+func MineSupport(d *relation.Dataset, sp *itemset.Space, minSupport float64) (*Result, error) {
+	if minSupport <= 0 || minSupport > 1 {
+		return nil, fmt.Errorf("charm: minimum support %v outside (0,1]", minSupport)
+	}
+	return Mine(d, sp, CountFor(minSupport, d.NumRecords()))
+}
+
+// CountFor converts a relative support threshold to the smallest absolute
+// record count that satisfies it (ceiling, at least 1).
+func CountFor(minSupport float64, numRecords int) int {
+	c := int(minSupport * float64(numRecords))
+	if float64(c) < minSupport*float64(numRecords) {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// MineTidsets runs CHARM directly over per-item tidsets. Items whose
+// tidset is nil are skipped, which lets callers mine a restricted item
+// universe (the ARM plan restricts to the query's item attributes).
+func MineTidsets(tidsets []*bitset.Set, numRecords, minCount int) (*Result, error) {
+	if minCount < 1 {
+		return nil, fmt.Errorf("charm: minimum support count %d < 1", minCount)
+	}
+	m := &miner{minCount: minCount, byHash: make(map[uint64][]*ClosedSet)}
+
+	var roots []*node
+	for it, tids := range tidsets {
+		if tids == nil {
+			continue
+		}
+		if tids.Count() >= minCount {
+			roots = append(roots, &node{
+				items: itemset.Set{itemset.Item(it)},
+				tids:  tids.Clone(),
+			})
+		}
+	}
+	sortNodes(roots)
+	m.extend(roots)
+
+	sort.Slice(m.closed, func(i, j int) bool {
+		a, b := m.closed[i].Items, m.closed[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return &Result{Closed: m.closed, NumRecords: numRecords, MinCount: minCount}, nil
+}
+
+type node struct {
+	items itemset.Set
+	tids  *bitset.Set
+}
+
+type miner struct {
+	minCount int
+	closed   []*ClosedSet
+	byHash   map[uint64][]*ClosedSet
+}
+
+// sortNodes orders candidates by ascending support, the CHARM heuristic
+// that maximizes the chance of tidset containment (properties 1-3),
+// breaking ties by item id for determinism.
+func sortNodes(ns []*node) {
+	sort.Slice(ns, func(i, j int) bool {
+		si, sj := ns[i].tids.Count(), ns[j].tids.Count()
+		if si != sj {
+			return si < sj
+		}
+		return ns[i].items[0] < ns[j].items[0]
+	})
+}
+
+// extend is CHARM-EXTEND: it explores the IT-tree rooted at each node,
+// applying the four tidset properties to skip non-closed branches.
+func (m *miner) extend(nodes []*node) {
+	for i := 0; i < len(nodes); i++ {
+		ni := nodes[i]
+		if ni == nil {
+			continue
+		}
+		var children []*node
+		for j := i + 1; j < len(nodes); j++ {
+			nj := nodes[j]
+			if nj == nil {
+				continue
+			}
+			inter := bitset.Intersect(ni.tids, nj.tids)
+			supp := inter.Count()
+			iSub := supp == ni.tids.Count() // t(Xi) ⊆ t(Xj) ?
+			jSub := supp == nj.tids.Count() // t(Xj) ⊆ t(Xi) ?
+			switch {
+			case iSub && jSub:
+				// Property 1: identical tidsets. Absorb Xj into Xi (and
+				// into every child generated so far, whose closures all
+				// include Xj's items) and drop Xj's branch.
+				ni.items = ni.items.Union(nj.items)
+				for _, c := range children {
+					c.items = c.items.Union(nj.items)
+				}
+				nodes[j] = nil
+			case iSub:
+				// Property 2: t(Xi) ⊂ t(Xj). Xi's closure includes Xj's
+				// items; Xj's own branch may still yield other CFIs.
+				ni.items = ni.items.Union(nj.items)
+				for _, c := range children {
+					c.items = c.items.Union(nj.items)
+				}
+			case jSub:
+				// Property 3: t(Xj) ⊂ t(Xi). Xj is not closed — its
+				// closure includes Xi — so replace its branch by the
+				// combined child under Xi.
+				nodes[j] = nil
+				if supp >= m.minCount {
+					children = append(children, &node{items: ni.items.Union(nj.items), tids: inter})
+				}
+			default:
+				// Property 4: incomparable tidsets; both survive and the
+				// combination opens a new branch if frequent.
+				if supp >= m.minCount {
+					children = append(children, &node{items: ni.items.Union(nj.items), tids: inter})
+				}
+			}
+		}
+		if len(children) > 0 {
+			sortNodes(children)
+			m.extend(children)
+		}
+		m.emit(ni)
+	}
+}
+
+// emit records ni as closed unless an already-emitted CFI subsumes it
+// (same tidset, superset items). Children are emitted before their parent
+// by the recursion order, so subsuming supersets are already present.
+func (m *miner) emit(n *node) {
+	h := n.tids.Hash()
+	for _, c := range m.byHash[h] {
+		if c.Support == n.tids.Count() && n.items.SubsetOf(c.Items) && c.Tids.Equal(n.tids) {
+			return // subsumed
+		}
+	}
+	cs := &ClosedSet{Items: n.items, Tids: n.tids, Support: n.tids.Count()}
+	m.closed = append(m.closed, cs)
+	m.byHash[h] = append(m.byHash[h], cs)
+}

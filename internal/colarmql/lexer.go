@@ -1,0 +1,146 @@
+// Package colarmql implements the localized-rule-mining query language
+// of the paper (Section 2.2):
+//
+//	REPORT LOCALIZED ASSOCIATION RULES
+//	FROM salary
+//	WHERE RANGE Location = (Seattle), Gender = (F)
+//	AND ITEM ATTRIBUTES Age, Salary
+//	HAVING minsupport = 0.70 AND minconfidence = 0.95;
+//
+// Extensions beyond the paper's sketch: values may be quoted when they
+// contain commas or parentheses, numbers accept percent signs
+// (minsupport = 70%), and an optional trailing "USING PLAN <name>"
+// clause forces a specific execution plan.
+package colarmql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF    tokenKind = iota
+	tokWord             // identifier / keyword / bare value
+	tokString           // quoted value
+	tokNumber           // numeric literal (possibly with %)
+	tokPunct            // one of , ( ) = ;
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits the source into tokens. Bare words may contain letters,
+// digits, '-', '_', '.', '$' and '+' so that labels like "90K-120K" or
+// "30-40" lex as single tokens.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == ',' || c == '(' || c == ')' || c == '=' || c == ';':
+			l.toks = append(l.toks, token{tokPunct, string(c), l.pos})
+			l.pos++
+		case c == '\'' || c == '"':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9' || c == '.':
+			l.lexNumberOrWord()
+		case isWordByte(c):
+			l.lexWord()
+		default:
+			return nil, fmt.Errorf("colarmql: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", l.pos})
+	return l.toks, nil
+}
+
+func isWordByte(c byte) bool {
+	return c == '-' || c == '_' || c == '.' || c == '$' || c == '+' ||
+		c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c >= 0x80 // allow UTF-8 continuation in labels
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			l.toks = append(l.toks, token{tokString, b.String(), start})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			c = l.src[l.pos]
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("colarmql: unterminated string starting at offset %d", start)
+}
+
+// lexNumberOrWord reads a run starting with a digit or dot. If the whole
+// run parses as a number (with optional trailing %), it is a number;
+// otherwise it is a word (values like "20-30" start with digits).
+func (l *lexer) lexNumberOrWord() {
+	start := l.pos
+	for l.pos < len(l.src) && isWordByte(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	// Optional percent sign directly attached.
+	if l.pos < len(l.src) && l.src[l.pos] == '%' {
+		l.pos++
+		l.toks = append(l.toks, token{tokNumber, text + "%", start})
+		return
+	}
+	if isNumeric(text) {
+		l.toks = append(l.toks, token{tokNumber, text, start})
+		return
+	}
+	l.toks = append(l.toks, token{tokWord, text, start})
+}
+
+func (l *lexer) lexWord() {
+	start := l.pos
+	for l.pos < len(l.src) && isWordByte(l.src[l.pos]) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{tokWord, l.src[start:l.pos], start})
+}
+
+func isNumeric(s string) bool {
+	dot := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '.' {
+			if dot {
+				return false
+			}
+			dot = true
+			continue
+		}
+		if !unicode.IsDigit(rune(c)) {
+			return false
+		}
+	}
+	return len(s) > 0 && s != "."
+}

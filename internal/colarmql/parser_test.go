@@ -1,0 +1,172 @@
+package colarmql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFullStatement(t *testing.T) {
+	src := `REPORT LOCALIZED ASSOCIATION RULES
+FROM salary
+WHERE RANGE Location = (Seattle), Gender = (F), Age = (20-30, 30-40)
+AND ITEM ATTRIBUTES Age, Salary
+HAVING minsupport = 0.70 AND minconfidence = 0.95;`
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dataset != "salary" {
+		t.Errorf("dataset = %q", st.Dataset)
+	}
+	if len(st.Range) != 3 {
+		t.Fatalf("range clauses = %d", len(st.Range))
+	}
+	if st.Range[2].Attr != "Age" || len(st.Range[2].Values) != 2 || st.Range[2].Values[1] != "30-40" {
+		t.Errorf("age clause = %+v", st.Range[2])
+	}
+	if len(st.ItemAttrs) != 2 || st.ItemAttrs[1] != "Salary" {
+		t.Errorf("item attrs = %v", st.ItemAttrs)
+	}
+	if st.MinSupport != 0.70 || st.MinConfidence != 0.95 {
+		t.Errorf("thresholds = %v, %v", st.MinSupport, st.MinConfidence)
+	}
+	if st.Plan != "" {
+		t.Errorf("plan = %q", st.Plan)
+	}
+}
+
+func TestParsePercentagesAndPlan(t *testing.T) {
+	src := `report localized association rules from chess
+where range piece = ('white king', "black rook")
+having minsupport = 80% and minconfidence = 85
+using plan SS-E-U-V`
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MinSupport != 0.80 {
+		t.Errorf("minsupport = %v", st.MinSupport)
+	}
+	if st.MinConfidence != 0.85 {
+		t.Errorf("minconfidence = %v", st.MinConfidence)
+	}
+	if st.Range[0].Values[0] != "white king" || st.Range[0].Values[1] != "black rook" {
+		t.Errorf("quoted values = %v", st.Range[0].Values)
+	}
+	if st.Plan != "SS-E-U-V" {
+		t.Errorf("plan = %q", st.Plan)
+	}
+}
+
+func TestParseNoWhereClause(t *testing.T) {
+	st, err := Parse(`REPORT LOCALIZED ASSOCIATION RULES FROM d HAVING minsupport = 0.5 AND minconfidence = 0.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Range) != 0 || len(st.ItemAttrs) != 0 {
+		t.Error("expected empty clauses")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"REPORT RULES FROM d HAVING minsupport = 0.5 AND minconfidence = 0.5",
+		"REPORT LOCALIZED ASSOCIATION RULES FROM",
+		"REPORT LOCALIZED ASSOCIATION RULES FROM d WHERE RANGE HAVING minsupport = 0.5 AND minconfidence = 0.5",
+		"REPORT LOCALIZED ASSOCIATION RULES FROM d WHERE RANGE a = () HAVING minsupport = 0.5 AND minconfidence = 0.5",
+		"REPORT LOCALIZED ASSOCIATION RULES FROM d WHERE RANGE a = (x HAVING minsupport = 0.5 AND minconfidence = 0.5",
+		"REPORT LOCALIZED ASSOCIATION RULES FROM d HAVING minsupport = 0.5",
+		"REPORT LOCALIZED ASSOCIATION RULES FROM d HAVING minsupport = 0 AND minconfidence = 0.5",
+		"REPORT LOCALIZED ASSOCIATION RULES FROM d HAVING minsupport = 150% AND minconfidence = 5",
+		"REPORT LOCALIZED ASSOCIATION RULES FROM d HAVING minsupport = 0.5 AND minconfidence = 0.5 garbage",
+		"REPORT LOCALIZED ASSOCIATION RULES FROM d WHERE RANGE a = (x), a = (y) HAVING minsupport = 0.5 AND minconfidence = 0.5",
+		"REPORT LOCALIZED ASSOCIATION RULES FROM d HAVING minsupport = 0.5 AND minconfidence = 'abc'",
+		"REPORT LOCALIZED ASSOCIATION RULES FROM d WHERE RANGE a = ('unterminated) HAVING minsupport = 0.5 AND minconfidence = 0.5",
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d: bad query parsed: %s", i, src)
+		}
+	}
+}
+
+func TestMinConfidencePercentHeuristic(t *testing.T) {
+	// minconfidence = 5 means 5%, since values above 1 read as percent.
+	st, err := Parse(`REPORT LOCALIZED ASSOCIATION RULES FROM d HAVING minsupport = 0.5 AND minconfidence = 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MinConfidence != 0.05 {
+		t.Errorf("minconfidence = %v, want 0.05", st.MinConfidence)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	src := `REPORT LOCALIZED ASSOCIATION RULES
+FROM salary
+WHERE RANGE Location = (Seattle, Boston)
+AND ITEM ATTRIBUTES Age, Salary
+HAVING minsupport = 0.7 AND minconfidence = 0.95
+USING PLAN ARM;`
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Parse(st.String())
+	if err != nil {
+		t.Fatalf("rendered statement failed to parse: %v\n%s", err, st.String())
+	}
+	if st2.Dataset != st.Dataset || st2.MinSupport != st.MinSupport ||
+		st2.Plan != st.Plan || len(st2.Range) != len(st.Range) {
+		t.Error("round trip lost information")
+	}
+}
+
+func TestLexerUnicodeAndEscapes(t *testing.T) {
+	st, err := Parse(`REPORT LOCALIZED ASSOCIATION RULES FROM d ` +
+		`WHERE RANGE city = ('Zü\'rich') HAVING minsupport = 0.5 AND minconfidence = 0.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Range[0].Values[0] != "Zü'rich" {
+		t.Errorf("escaped value = %q", st.Range[0].Values[0])
+	}
+	if _, err := Parse("REPORT @ FROM d"); err == nil {
+		t.Error("invalid character must error")
+	}
+}
+
+func TestNumericBareValues(t *testing.T) {
+	// Range values that look numeric (e.g. year = (1990, 2000)).
+	st, err := Parse(`REPORT LOCALIZED ASSOCIATION RULES FROM d ` +
+		`WHERE RANGE year = (1990, 2000) HAVING minsupport = 0.5 AND minconfidence = 0.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Range[0].Values) != 2 || st.Range[0].Values[0] != "1990" {
+		t.Errorf("numeric values = %v", st.Range[0].Values)
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	if _, err := Parse(`RePoRt LoCaLiZeD aSsOcIaTiOn RuLeS fRoM d HaViNg MiNsUpPoRt = 0.5 aNd MiNcOnFiDeNcE = 0.5`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatementStringContainsClauses(t *testing.T) {
+	st := &Statement{
+		Dataset:       "d",
+		Range:         []RangeClause{{Attr: "a", Values: []string{"x"}}},
+		ItemAttrs:     []string{"b"},
+		MinSupport:    0.5,
+		MinConfidence: 0.6,
+	}
+	s := st.String()
+	for _, want := range []string{"FROM d", "WHERE RANGE a = (x)", "ITEM ATTRIBUTES b", "minsupport = 0.5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

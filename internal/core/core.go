@@ -1,0 +1,141 @@
+// Package core assembles the COLARM framework (paper Figure 2): the
+// offline preprocessing phase that builds the MIP-index and its
+// statistics, and the online phase in which the cost-based optimizer
+// picks one of the six mining plans and the executor runs it.
+package core
+
+import (
+	"fmt"
+
+	"colarm/internal/cost"
+	"colarm/internal/mip"
+	"colarm/internal/plans"
+	"colarm/internal/relation"
+	"colarm/internal/rtree"
+)
+
+// Options configures engine construction.
+type Options struct {
+	// PrimarySupport is the offline primary support threshold in (0,1].
+	PrimarySupport float64
+	// Fanout is the R-tree node capacity (<= 0 selects the default).
+	Fanout int
+	// Packing selects the R-tree bulk-loading scheme.
+	Packing rtree.Packing
+	// CalibrateUnits micro-benchmarks the cost model's unit costs on
+	// this machine instead of using defaults.
+	CalibrateUnits bool
+	// CheckMode selects the record-level support check implementation
+	// (AutoCheck, ScanCheck or BitmapCheck). ScanCheck costs are
+	// proportional to the focal subset size, matching the paper's cost
+	// model; AutoCheck (default) picks the cheaper implementation per
+	// query.
+	CheckMode plans.CheckMode
+}
+
+// Engine is a ready-to-query COLARM instance over one dataset.
+type Engine struct {
+	Index    *mip.Index
+	Executor *plans.Executor
+	Model    *cost.Model
+}
+
+// NewEngine runs the offline phase over the dataset and wires up the
+// online executor and optimizer.
+func NewEngine(d *relation.Dataset, opts Options) (*Engine, error) {
+	idx, err := mip.Build(d, mip.Options{
+		PrimarySupport: opts.PrimarySupport,
+		Fanout:         opts.Fanout,
+		Packing:        opts.Packing,
+	})
+	if err != nil {
+		return nil, err
+	}
+	units := cost.Units{}
+	if opts.CalibrateUnits {
+		units = cost.MeasureUnits(d.NumRecords(), d.NumAttrs())
+	}
+	ex := plans.NewExecutor(idx)
+	ex.Mode = opts.CheckMode
+	model := cost.NewModel(idx, units)
+	model.Mode = opts.CheckMode
+	return &Engine{
+		Index:    idx,
+		Executor: ex,
+		Model:    model,
+	}, nil
+}
+
+// Mine answers a localized mining query with the plan the COLARM
+// optimizer selects; the estimates for all six plans are returned for
+// inspection.
+func (e *Engine) Mine(q *plans.Query) (*plans.Result, []cost.Estimate, error) {
+	if err := q.Validate(e.Index); err != nil {
+		return nil, nil, err
+	}
+	kind, ests := e.Model.Choose(q)
+	res, err := e.Executor.Run(kind, q)
+	if err != nil {
+		return nil, ests, err
+	}
+	return res, ests, nil
+}
+
+// MineWith bypasses the optimizer and executes a specific plan.
+func (e *Engine) MineWith(kind plans.Kind, q *plans.Query) (*plans.Result, error) {
+	return e.Executor.Run(kind, q)
+}
+
+// Explain returns the optimizer's choice and per-plan estimates without
+// executing anything.
+func (e *Engine) Explain(q *plans.Query) (plans.Kind, []cost.Estimate, error) {
+	if err := q.Validate(e.Index); err != nil {
+		return 0, nil, err
+	}
+	kind, ests := e.Model.Choose(q)
+	return kind, ests, nil
+}
+
+// QuerySpec is a plan-agnostic description of a mining request using
+// dataset vocabulary (attribute names and value labels), as produced by
+// the query-language parser or constructed directly by library users.
+type QuerySpec struct {
+	// Range maps attribute names to selected value labels (the WHERE
+	// RANGE clause); attributes absent from the map span their domain.
+	Range map[string][]string
+	// ItemAttrs lists the attributes allowed in rule bodies (the ITEM
+	// ATTRIBUTES clause); empty means all.
+	ItemAttrs []string
+	// MinSupport and MinConfidence are the HAVING thresholds.
+	MinSupport    float64
+	MinConfidence float64
+	// MaxConsequent caps rule consequent length (0 = unlimited).
+	MaxConsequent int
+}
+
+// BuildQuery resolves a QuerySpec against the engine's dataset into an
+// executable query.
+func (e *Engine) BuildQuery(spec *QuerySpec) (*plans.Query, error) {
+	reg, err := e.Index.RegionFromSelections(spec.Range)
+	if err != nil {
+		return nil, err
+	}
+	var mask []bool
+	if len(spec.ItemAttrs) > 0 {
+		mask = make([]bool, e.Index.Space.NumAttrs())
+		for _, name := range spec.ItemAttrs {
+			ai := e.Index.Dataset.AttrIndex(name)
+			if ai < 0 {
+				return nil, fmt.Errorf("core: unknown item attribute %q", name)
+			}
+			mask[ai] = true
+		}
+	}
+	return &plans.Query{
+		Region:        reg,
+		ItemAttrs:     mask,
+		MinSupport:    spec.MinSupport,
+		MinConfidence: spec.MinConfidence,
+		MaxConsequent: spec.MaxConsequent,
+	}, nil
+}

@@ -1,0 +1,353 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"colarm/internal/relation"
+)
+
+func testSpace(t *testing.T) (*Space, *relation.Dataset) {
+	t.Helper()
+	b := relation.NewBuilder("t", "A", "B", "C")
+	// A: 3 values, B: 2 values, C: 4 values.
+	rows := [][]string{
+		{"a0", "b0", "c0"},
+		{"a1", "b1", "c1"},
+		{"a2", "b0", "c2"},
+		{"a0", "b1", "c3"},
+	}
+	for _, r := range rows {
+		if err := b.AddRecord(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := b.Build()
+	return NewSpace(d), d
+}
+
+func TestSpaceMapping(t *testing.T) {
+	sp, _ := testSpace(t)
+	if sp.NumItems() != 9 {
+		t.Fatalf("NumItems = %d, want 9", sp.NumItems())
+	}
+	if sp.NumAttrs() != 3 {
+		t.Fatalf("NumAttrs = %d", sp.NumAttrs())
+	}
+	for a := 0; a < sp.NumAttrs(); a++ {
+		for v := 0; v < sp.Cardinality(a); v++ {
+			it := sp.ItemOf(a, v)
+			if sp.AttrOf(it) != a {
+				t.Errorf("AttrOf(ItemOf(%d,%d)) = %d", a, v, sp.AttrOf(it))
+			}
+			if sp.ValueOf(it) != v {
+				t.Errorf("ValueOf(ItemOf(%d,%d)) = %d", a, v, sp.ValueOf(it))
+			}
+		}
+	}
+	if got := sp.Label(sp.ItemOf(1, 1)); got != "B=b1" {
+		t.Errorf("Label = %q", got)
+	}
+}
+
+func TestParseItem(t *testing.T) {
+	sp, _ := testSpace(t)
+	it, err := sp.ParseItem("C=c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.AttrOf(it) != 2 || sp.ValueOf(it) != 2 {
+		t.Errorf("ParseItem(C=c2) = attr %d value %d", sp.AttrOf(it), sp.ValueOf(it))
+	}
+	for _, bad := range []string{"nope", "D=x", "A=zz"} {
+		if _, err := sp.ParseItem(bad); err == nil {
+			t.Errorf("ParseItem(%q) must error", bad)
+		}
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := NewSet(5, 1, 3, 1)
+	if !s.Equal(Set{1, 3, 5}) {
+		t.Fatalf("NewSet dedup/sort = %v", s)
+	}
+	tt := NewSet(3, 7)
+	if got := s.Union(tt); !got.Equal(Set{1, 3, 5, 7}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := s.Minus(tt); !got.Equal(Set{1, 5}) {
+		t.Errorf("Minus = %v", got)
+	}
+	if !NewSet(1, 3).SubsetOf(s) || NewSet(1, 9).SubsetOf(s) {
+		t.Error("SubsetOf wrong")
+	}
+	if !NewSet().SubsetOf(s) {
+		t.Error("empty set must be subset of all")
+	}
+	if !s.Contains(3) || s.Contains(2) {
+		t.Error("Contains wrong")
+	}
+	if s.Key() != "1,3,5" {
+		t.Errorf("Key = %q", s.Key())
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSetFormatAndRestrict(t *testing.T) {
+	sp, _ := testSpace(t)
+	s := NewSet(sp.ItemOf(0, 1), sp.ItemOf(2, 3))
+	if got := s.Format(sp); got != "(A=a1, C=c3)" {
+		t.Errorf("Format = %q", got)
+	}
+	attrOK := []bool{true, true, false}
+	got, all := s.RestrictedTo(sp, attrOK)
+	if all {
+		t.Error("restriction should have dropped an item")
+	}
+	if !got.Equal(Set{sp.ItemOf(0, 1)}) {
+		t.Errorf("RestrictedTo = %v", got)
+	}
+	attrAll := []bool{true, true, true}
+	got2, all2 := s.RestrictedTo(sp, attrAll)
+	if !all2 || !got2.Equal(s) {
+		t.Error("full restriction should be identity")
+	}
+}
+
+func TestBoxBasics(t *testing.T) {
+	b := NewBox(2)
+	if !b.IsEmpty() {
+		t.Error("fresh box must be empty")
+	}
+	b.Extend([]int{1, 4})
+	b.Extend([]int{3, 2})
+	if b.IsEmpty() {
+		t.Error("extended box must not be empty")
+	}
+	if b.Lo[0] != 1 || b.Hi[0] != 3 || b.Lo[1] != 2 || b.Hi[1] != 4 {
+		t.Fatalf("box = %v", b)
+	}
+	if b.Extent(0) != 3 || b.Extent(1) != 3 {
+		t.Errorf("extents = %d,%d", b.Extent(0), b.Extent(1))
+	}
+	if !b.ContainsPoint([]int{2, 3}) || b.ContainsPoint([]int{0, 3}) {
+		t.Error("ContainsPoint wrong")
+	}
+	o := NewBox(2)
+	o.Extend([]int{2, 2})
+	if !b.ContainsBox(o) || o.ContainsBox(b) {
+		t.Error("ContainsBox wrong")
+	}
+	if !b.Intersects(o) {
+		t.Error("Intersects wrong")
+	}
+	far := NewBox(2)
+	far.Extend([]int{9, 9})
+	if b.Intersects(far) {
+		t.Error("disjoint boxes must not intersect")
+	}
+	c := b.Clone()
+	c.Extend([]int{0, 0})
+	if b.Lo[0] == 0 {
+		t.Error("Clone must be independent")
+	}
+	b.ExtendBox(far)
+	if b.Hi[0] != 9 || b.Hi[1] != 9 {
+		t.Error("ExtendBox wrong")
+	}
+	if b.String() == "" {
+		t.Error("String must render")
+	}
+}
+
+func TestRegionRelation(t *testing.T) {
+	// Dimensions with cardinalities 4, 3.
+	r := NewRegion([]int{4, 3})
+	// Full-domain region contains everything.
+	b := NewBox(2)
+	b.Extend([]int{0, 0})
+	b.Extend([]int{3, 2})
+	if got := r.Relation(b); got != Contained {
+		t.Fatalf("full region relation = %v", got)
+	}
+	// Restrict dim 0 to {1,2}.
+	if err := r.Restrict(0, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	inside := NewBox(2)
+	inside.Extend([]int{1, 0})
+	inside.Extend([]int{2, 2})
+	if got := r.Relation(inside); got != Contained {
+		t.Errorf("inside relation = %v, want contained", got)
+	}
+	partial := NewBox(2)
+	partial.Extend([]int{0, 0})
+	partial.Extend([]int{2, 1})
+	if got := r.Relation(partial); got != Partial {
+		t.Errorf("partial relation = %v, want partial", got)
+	}
+	out := NewBox(2)
+	out.Extend([]int{3, 1})
+	if got := r.Relation(out); got != Disjoint {
+		t.Errorf("disjoint relation = %v, want disjoint", got)
+	}
+	// Non-contiguous selection: {0, 3} — box [0..3] is partial because
+	// 1,2 are unselected.
+	r2 := NewRegion([]int{4, 3})
+	if err := r2.Restrict(0, []int{0, 3}); err != nil {
+		t.Fatal(err)
+	}
+	span := NewBox(2)
+	span.Extend([]int{0, 0})
+	span.Extend([]int{3, 2})
+	if got := r2.Relation(span); got != Partial {
+		t.Errorf("non-contiguous span = %v, want partial", got)
+	}
+	point := NewBox(2)
+	point.Extend([]int{3, 1})
+	if got := r2.Relation(point); got != Contained {
+		t.Errorf("point at selected value = %v, want contained", got)
+	}
+}
+
+func TestRegionMembershipAndStats(t *testing.T) {
+	r := NewRegion([]int{4, 3})
+	if err := r.Restrict(0, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.ContainsPoint([]int{1, 0}) || r.ContainsPoint([]int{0, 0}) {
+		t.Error("ContainsPoint wrong")
+	}
+	if r.SelectedCount(0) != 2 || r.SelectedCount(1) != 3 {
+		t.Error("SelectedCount wrong")
+	}
+	if got := r.Selected(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Selected(0) = %v", got)
+	}
+	if r.AvgExtent(0) != 0.5 || r.AvgExtent(1) != 1.0 {
+		t.Errorf("AvgExtent = %v, %v", r.AvgExtent(0), r.AvgExtent(1))
+	}
+	bb := r.BoundingBox()
+	if bb.Lo[0] != 1 || bb.Hi[0] != 2 || bb.Lo[1] != 0 || bb.Hi[1] != 2 {
+		t.Errorf("BoundingBox = %v", bb)
+	}
+	if r.IsEmpty() {
+		t.Error("region not empty")
+	}
+	if err := r.Restrict(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsEmpty() {
+		t.Error("empty selection must make region empty")
+	}
+	if err := r.Restrict(9, []int{0}); err == nil {
+		t.Error("out-of-range dimension must error")
+	}
+	if err := r.Restrict(0, []int{99}); err == nil {
+		t.Error("out-of-range value must error")
+	}
+}
+
+func TestRelStringer(t *testing.T) {
+	for _, tc := range []struct {
+		r    Rel
+		want string
+	}{{Disjoint, "disjoint"}, {Partial, "partial"}, {Contained, "contained"}} {
+		if tc.r.String() != tc.want {
+			t.Errorf("%v.String() = %q", tc.r, tc.r.String())
+		}
+	}
+}
+
+// Property: Region.Relation agrees with a brute-force cell enumeration.
+func TestQuickRegionRelationBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cards := []int{2 + r.Intn(5), 2 + r.Intn(5)}
+		reg := NewRegion(cards)
+		for d := 0; d < 2; d++ {
+			if r.Intn(2) == 0 {
+				continue // leave unrestricted
+			}
+			var vals []int
+			for v := 0; v < cards[d]; v++ {
+				if r.Intn(2) == 0 {
+					vals = append(vals, v)
+				}
+			}
+			if len(vals) == 0 {
+				vals = []int{r.Intn(cards[d])}
+			}
+			if err := reg.Restrict(d, vals); err != nil {
+				return false
+			}
+		}
+		// Random box.
+		b := NewBox(2)
+		for d := 0; d < 2; d++ {
+			lo := r.Intn(cards[d])
+			hi := lo + r.Intn(cards[d]-lo)
+			b.Lo[d], b.Hi[d] = int32(lo), int32(hi)
+		}
+		// Brute force: enumerate cells of the box.
+		all, any := true, false
+		for x := b.Lo[0]; x <= b.Hi[0]; x++ {
+			for y := b.Lo[1]; y <= b.Hi[1]; y++ {
+				if reg.ContainsPoint([]int{int(x), int(y)}) {
+					any = true
+				} else {
+					all = false
+				}
+			}
+		}
+		want := Partial
+		switch {
+		case !any:
+			want = Disjoint
+		case all:
+			want = Contained
+		}
+		return reg.Relation(b) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: set algebra laws on random small itemsets.
+func TestQuickSetAlgebra(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rnd := func() Set {
+			var items []Item
+			for i := 0; i < r.Intn(8); i++ {
+				items = append(items, Item(r.Intn(20)))
+			}
+			return NewSet(items...)
+		}
+		a, b := rnd(), rnd()
+		u := a.Union(b)
+		if !a.SubsetOf(u) || !b.SubsetOf(u) {
+			return false
+		}
+		if !a.Minus(b).SubsetOf(a) {
+			return false
+		}
+		// |a ∪ b| = |a| + |b| - |a ∩ b| where |a ∩ b| = |a| - |a \ b|.
+		inter := len(a) - len(a.Minus(b))
+		if len(u) != len(a)+len(b)-inter {
+			return false
+		}
+		// Union is idempotent and commutative.
+		if !a.Union(a).Equal(a) || !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,229 @@
+// Package ittree implements the closed itemset-tidset tree of Zaki &
+// Hsiao used as the second layer of the MIP-index (paper Section 3.3).
+// It stores the closed frequent itemsets (CFIs) mined offline by CHARM,
+// organized for the two online operations the mining plans need:
+//
+//   - exact lookup of a stored CFI;
+//   - closure resolution of an arbitrary itemset X — the unique smallest
+//     CFI containing X — which carries X's tidset and therefore its
+//     support (global and, intersected with the focal subset bitmap,
+//     local).
+//
+// Closure resolution is implemented with per-item inverted lists of CFI
+// ids: the closure of X is the CFI of maximum support among those
+// containing all of X's items.
+package ittree
+
+import (
+	"fmt"
+	"sort"
+
+	"colarm/internal/charm"
+	"colarm/internal/itemset"
+)
+
+// Tree is an immutable store of closed frequent itemsets.
+type Tree struct {
+	sets       []*charm.ClosedSet
+	byItem     [][]int32 // item id -> ascending CFI ids containing the item
+	byKey      map[string]int32
+	numRecords int
+	numItems   int
+	maxLevel   int
+}
+
+// Build indexes the CFIs of a CHARM run. numItems is the size of the item
+// universe (Space.NumItems()).
+func Build(res *charm.Result, numItems int) *Tree {
+	t := &Tree{
+		sets:       res.Closed,
+		byItem:     make([][]int32, numItems),
+		byKey:      make(map[string]int32, len(res.Closed)),
+		numRecords: res.NumRecords,
+		numItems:   numItems,
+	}
+	for id, c := range res.Closed {
+		t.byKey[c.Items.Key()] = int32(id)
+		for _, it := range c.Items {
+			t.byItem[it] = append(t.byItem[it], int32(id))
+		}
+		if len(c.Items) > t.maxLevel {
+			t.maxLevel = len(c.Items)
+		}
+	}
+	return t
+}
+
+// Size returns the number of stored CFIs.
+func (t *Tree) Size() int { return len(t.sets) }
+
+// NumRecords returns the record count of the dataset the tree was built
+// over.
+func (t *Tree) NumRecords() int { return t.numRecords }
+
+// MaxLevel returns the length of the longest stored CFI — the depth of
+// the IT-tree.
+func (t *Tree) MaxLevel() int { return t.maxLevel }
+
+// Set returns the CFI with the given id (its index in mining order).
+func (t *Tree) Set(id int) *charm.ClosedSet { return t.sets[id] }
+
+// Sets returns all stored CFIs in mining order. Callers must not mutate.
+func (t *Tree) Sets() []*charm.ClosedSet { return t.sets }
+
+// Lookup finds the CFI whose itemset is exactly x.
+func (t *Tree) Lookup(x itemset.Set) (*charm.ClosedSet, bool) {
+	if id, ok := t.byKey[x.Key()]; ok {
+		return t.sets[id], true
+	}
+	return nil, false
+}
+
+// Closure returns the closure of x: the unique CFI c with
+// tidset(c) == tidset(x), which is the maximum-support CFI whose itemset
+// contains x. The boolean is false when x is contained in no stored CFI,
+// i.e. x was not frequent at the primary support threshold.
+func (t *Tree) Closure(x itemset.Set) (*charm.ClosedSet, bool) {
+	id, ok := t.ClosureID(x)
+	if !ok {
+		return nil, false
+	}
+	return t.sets[id], true
+}
+
+// ClosureID is Closure returning the CFI's id instead of the set; plans
+// key their per-query local-support caches on the id.
+func (t *Tree) ClosureID(x itemset.Set) (int, bool) {
+	if len(x) == 0 {
+		return 0, false
+	}
+	// Exact hit short-circuits the list intersection.
+	if id, ok := t.byKey[x.Key()]; ok {
+		return int(id), true
+	}
+	// Scan the shortest inverted list for the max-support superset.
+	shortest := -1
+	for _, it := range x {
+		l := t.byItem[it]
+		if len(l) == 0 {
+			return 0, false
+		}
+		if shortest < 0 || len(l) < len(t.byItem[x[shortest]]) {
+			// remember position within x of the item with the shortest list
+			shortest = indexOf(x, it)
+		}
+	}
+	best := -1
+	for _, id := range t.byItem[x[shortest]] {
+		c := t.sets[id]
+		if best >= 0 && c.Support <= t.sets[best].Support {
+			continue
+		}
+		if x.SubsetOf(c.Items) {
+			best = int(id)
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+func indexOf(x itemset.Set, it itemset.Item) int {
+	for i, v := range x {
+		if v == it {
+			return i
+		}
+	}
+	return -1
+}
+
+// GlobalSupport returns the dataset-wide support count of an arbitrary
+// itemset x, resolved through its closure, or -1 when x is not covered by
+// the stored CFIs.
+func (t *Tree) GlobalSupport(x itemset.Set) int {
+	c, ok := t.Closure(x)
+	if !ok {
+		return -1
+	}
+	return c.Support
+}
+
+// Validate checks internal invariants: closure of every stored itemset is
+// itself, and every subset of a stored CFI resolves to a closure with at
+// least its support. Used by index-construction tests.
+func (t *Tree) Validate() error {
+	for id, c := range t.sets {
+		got, ok := t.Closure(c.Items)
+		if !ok {
+			return fmt.Errorf("ittree: CFI %d not found via Closure", id)
+		}
+		if !got.Items.Equal(c.Items) {
+			return fmt.Errorf("ittree: Closure(%v) = %v, want identity", c.Items, got.Items)
+		}
+	}
+	return nil
+}
+
+// ContainingIDs returns the ids of CFIs containing every item of x, in
+// ascending id order. Used by diagnostics and tests.
+func (t *Tree) ContainingIDs(x itemset.Set) []int32 {
+	if len(x) == 0 {
+		return nil
+	}
+	cur := append([]int32(nil), t.byItem[x[0]]...)
+	for _, it := range x[1:] {
+		cur = intersectSorted(cur, t.byItem[it])
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+func intersectSorted(a, b []int32) []int32 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// LevelCounts returns, per itemset length, how many CFIs the tree stores
+// (index 0 unused). The distribution of CFIs by length drives the paper's
+// discussion of dataset character (symmetric for chess/PUMSB, bi-modal
+// for mushroom).
+func (t *Tree) LevelCounts() []int {
+	counts := make([]int, t.maxLevel+1)
+	for _, c := range t.sets {
+		counts[len(c.Items)]++
+	}
+	return counts
+}
+
+// SortedBySupport returns CFI ids in descending global support order;
+// diagnostic helper for the Simpson's-paradox experiment output.
+func (t *Tree) SortedBySupport() []int32 {
+	ids := make([]int32, len(t.sets))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		sa, sb := t.sets[ids[a]].Support, t.sets[ids[b]].Support
+		if sa != sb {
+			return sa > sb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}

@@ -1,0 +1,220 @@
+package mip
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"colarm/internal/bitset"
+	"colarm/internal/charm"
+	"colarm/internal/itemset"
+	"colarm/internal/ittree"
+	"colarm/internal/relation"
+	"colarm/internal/rtree"
+)
+
+// The MIP-index is built offline once (the POQM contract), so persisting
+// it is the natural deployment shape: mine with CHARM on a build
+// machine, ship the snapshot, and serve queries anywhere. The snapshot
+// stores the dataset, the closed frequent itemsets with their tidsets,
+// and the MIP bounding boxes; the cheap derived structures (per-item
+// tidsets, the packed R-tree, statistics) are rebuilt on load in
+// milliseconds, skipping the mining phase entirely.
+
+// snapshotMagic versions the serialization format.
+const snapshotMagic = "COLARM-MIP-v1"
+
+type snapshot struct {
+	Magic string
+
+	// Dataset.
+	Name  string
+	Attrs []snapAttr
+	Rows  []int32 // row-major value indices, m*n entries
+
+	// Index.
+	PrimaryCount int
+	Fanout       int
+	Packing      int
+	CFIs         []snapCFI
+	Boxes        []snapBox
+}
+
+type snapAttr struct {
+	Name   string
+	Values []string
+}
+
+type snapCFI struct {
+	Items   []int32
+	Tids    []byte // bitset.Set binary encoding
+	Support int
+}
+
+type snapBox struct {
+	Lo, Hi []int32
+}
+
+// WriteTo serializes the index. The stream is self-contained: ReadIndex
+// restores a fully functional index without re-mining.
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := &countingWriter{w: bufio.NewWriter(w)}
+	snap := snapshot{
+		Magic:        snapshotMagic,
+		Name:         x.Dataset.Name,
+		PrimaryCount: x.PrimaryCount,
+		Fanout:       x.RTree.Fanout(),
+	}
+	for _, a := range x.Dataset.Attrs {
+		snap.Attrs = append(snap.Attrs, snapAttr{Name: a.Name, Values: a.Values})
+	}
+	m, n := x.Dataset.NumRecords(), x.Dataset.NumAttrs()
+	snap.Rows = make([]int32, 0, m*n)
+	for r := 0; r < m; r++ {
+		for a := 0; a < n; a++ {
+			snap.Rows = append(snap.Rows, int32(x.Dataset.Value(r, a)))
+		}
+	}
+	for id := 0; id < x.ITTree.Size(); id++ {
+		c := x.ITTree.Set(id)
+		tids, err := c.Tids.MarshalBinary()
+		if err != nil {
+			return bw.n, err
+		}
+		items := make([]int32, len(c.Items))
+		for i, it := range c.Items {
+			items[i] = int32(it)
+		}
+		snap.CFIs = append(snap.CFIs, snapCFI{Items: items, Tids: tids, Support: c.Support})
+		snap.Boxes = append(snap.Boxes, snapBox{Lo: x.Boxes[id].Lo, Hi: x.Boxes[id].Hi})
+	}
+	if err := gob.NewEncoder(bw).Encode(&snap); err != nil {
+		return bw.n, fmt.Errorf("mip: encoding snapshot: %w", err)
+	}
+	if err := bw.w.(*bufio.Writer).Flush(); err != nil {
+		return bw.n, err
+	}
+	return bw.n, nil
+}
+
+// ReadIndex restores an index written by WriteTo, rebuilding the
+// derived structures (item tidsets, packed R-tree, statistics).
+func ReadIndex(r io.Reader) (*Index, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("mip: decoding snapshot: %w", err)
+	}
+	if snap.Magic != snapshotMagic {
+		return nil, fmt.Errorf("mip: not a COLARM index snapshot (magic %q)", snap.Magic)
+	}
+	if len(snap.Attrs) == 0 {
+		return nil, fmt.Errorf("mip: snapshot has no attributes")
+	}
+	n := len(snap.Attrs)
+	if len(snap.Rows)%n != 0 {
+		return nil, fmt.Errorf("mip: snapshot row data length %d not divisible by %d attributes", len(snap.Rows), n)
+	}
+	names := make([]string, n)
+	for i, a := range snap.Attrs {
+		names[i] = a.Name
+	}
+	b := relation.NewBuilder(snap.Name, names...)
+	for ai, a := range snap.Attrs {
+		for _, v := range a.Values {
+			b.AddValue(ai, v)
+		}
+	}
+	row := make([]int, n)
+	for off := 0; off < len(snap.Rows); off += n {
+		for a := 0; a < n; a++ {
+			row[a] = int(snap.Rows[off+a])
+		}
+		if err := b.AddRecordIdx(row...); err != nil {
+			return nil, fmt.Errorf("mip: snapshot record: %w", err)
+		}
+	}
+	d := b.Build()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	sp := itemset.NewSpace(d)
+
+	if len(snap.CFIs) != len(snap.Boxes) {
+		return nil, fmt.Errorf("mip: snapshot has %d CFIs but %d boxes", len(snap.CFIs), len(snap.Boxes))
+	}
+	res := &charm.Result{NumRecords: d.NumRecords(), MinCount: snap.PrimaryCount}
+	boxes := make([]itemset.Box, len(snap.CFIs))
+	for i, sc := range snap.CFIs {
+		tids := &bitset.Set{}
+		if err := tids.UnmarshalBinary(sc.Tids); err != nil {
+			return nil, fmt.Errorf("mip: CFI %d tidset: %w", i, err)
+		}
+		if tids.Len() != d.NumRecords() {
+			return nil, fmt.Errorf("mip: CFI %d tidset capacity %d != %d records", i, tids.Len(), d.NumRecords())
+		}
+		items := make(itemset.Set, len(sc.Items))
+		for j, it := range sc.Items {
+			if it < 0 || int(it) >= sp.NumItems() {
+				return nil, fmt.Errorf("mip: CFI %d item %d out of range", i, it)
+			}
+			items[j] = itemset.Item(it)
+		}
+		if got := tids.Count(); got != sc.Support {
+			return nil, fmt.Errorf("mip: CFI %d support %d != tidset count %d", i, sc.Support, got)
+		}
+		res.Closed = append(res.Closed, &charm.ClosedSet{Items: items, Tids: tids, Support: sc.Support})
+		sb := snap.Boxes[i]
+		if len(sb.Lo) != n || len(sb.Hi) != n {
+			return nil, fmt.Errorf("mip: CFI %d box has wrong dimensionality", i)
+		}
+		boxes[i] = itemset.Box{Lo: sb.Lo, Hi: sb.Hi}
+	}
+
+	idx, err := assembleFromBoxes(d, sp, res, boxes, snap.PrimaryCount, Options{
+		Fanout:  snap.Fanout,
+		Packing: rtree.Packing(snap.Packing),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// assembleFromBoxes mirrors assemble but reuses precomputed boxes.
+func assembleFromBoxes(d *relation.Dataset, sp *itemset.Space, res *charm.Result, boxes []itemset.Box, primaryCount int, opts Options) (*Index, error) {
+	idx := &Index{
+		Dataset:      d,
+		Space:        sp,
+		Tidsets:      itemset.ItemTidsets(d, sp),
+		PrimaryCount: primaryCount,
+		Boxes:        boxes,
+	}
+	idx.ITTree = ittree.Build(res, sp.NumItems())
+	idx.Cards = make([]int, sp.NumAttrs())
+	for a := range idx.Cards {
+		idx.Cards[a] = sp.Cardinality(a)
+	}
+	entries := make([]rtree.Entry, len(res.Closed))
+	for id, c := range res.Closed {
+		entries[id] = rtree.Entry{Box: boxes[id], ID: int32(id), Support: int32(c.Support)}
+	}
+	rt, err := rtree.Bulk(entries, sp.NumAttrs(), opts.Fanout, opts.Packing, idx.Cards)
+	if err != nil {
+		return nil, err
+	}
+	idx.RTree = rt
+	idx.LevelStats, idx.EntryStats = rt.Stats(idx.Cards)
+	return idx, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,380 @@
+package plans
+
+import (
+	"fmt"
+	"time"
+
+	"colarm/internal/bitset"
+	"colarm/internal/charm"
+	"colarm/internal/itemset"
+	"colarm/internal/mip"
+	"colarm/internal/rtree"
+	"colarm/internal/rules"
+)
+
+// CheckMode selects how the record-level support checks of ELIMINATE
+// and VERIFY are executed.
+type CheckMode int
+
+const (
+	// AutoCheck picks per query whichever of the two implementations
+	// is cheaper for the focal subset size (default).
+	AutoCheck CheckMode = iota
+	// ScanCheck probes each record id of D^Q against the itemset's
+	// tidset — cost proportional to |D^Q|, exactly the record-level
+	// scan the paper's cost model describes (COST(E) = |{I^Q_S}|·|D^Q|).
+	ScanCheck
+	// BitmapCheck intersects whole tidset bitmaps — cost proportional
+	// to the dataset size in words, independent of |D^Q|.
+	BitmapCheck
+)
+
+func (m CheckMode) String() string {
+	switch m {
+	case AutoCheck:
+		return "auto"
+	case ScanCheck:
+		return "scan"
+	case BitmapCheck:
+		return "bitmap"
+	default:
+		return fmt.Sprintf("CheckMode(%d)", int(m))
+	}
+}
+
+// ParseCheckMode resolves a mode name.
+func ParseCheckMode(s string) (CheckMode, error) {
+	switch s {
+	case "auto", "":
+		return AutoCheck, nil
+	case "scan":
+		return ScanCheck, nil
+	case "bitmap":
+		return BitmapCheck, nil
+	}
+	return 0, fmt.Errorf("plans: unknown check mode %q (want auto, scan or bitmap)", s)
+}
+
+// Executor runs mining plans against a MIP-index.
+type Executor struct {
+	Idx *mip.Index
+	// Mode selects the record-level support check implementation.
+	Mode CheckMode
+}
+
+// NewExecutor creates an executor over the given index.
+func NewExecutor(idx *mip.Index) *Executor { return &Executor{Idx: idx} }
+
+// Run executes the query with the chosen plan.
+func (ex *Executor) Run(kind Kind, q *Query) (*Result, error) {
+	if err := q.Validate(ex.Idx); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var res *Result
+	var err error
+	switch kind {
+	case SEV, SVS, SSEV, SSVS, SSEUV:
+		res, err = ex.runMIPPlan(kind, q)
+	case ARM:
+		res, err = ex.runARM(q)
+	default:
+		return nil, errUnknownKind(kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Plan = kind
+	res.Stats.Duration = time.Since(start)
+	rules.SortCanonical(res.Rules)
+	return res, nil
+}
+
+type unknownKindError Kind
+
+func (e unknownKindError) Error() string { return "plans: unknown plan kind" }
+
+func errUnknownKind(k Kind) error { return unknownKindError(k) }
+
+// qctx carries the per-query state shared by the operators.
+type qctx struct {
+	ex       *Executor
+	q        *Query
+	mask     []bool      // item-attribute mask
+	dq       *bitset.Set // focal subset bitmap
+	dqIDs    []int       // focal subset record ids (ScanCheck path)
+	scan     bool        // resolved check mode for this query
+	minCount int
+	st       *Stats
+
+	// localSupp caches CFI id → local support count (record-level check
+	// memoization shared between ELIMINATE and VERIFY).
+	localSupp map[int]int
+}
+
+func (ex *Executor) newCtx(q *Query) *qctx {
+	dq := ex.Idx.SubsetBitmap(q.Region)
+	size := dq.Count()
+	minCount := charm.CountFor(q.MinSupport, size)
+	c := &qctx{
+		ex:        ex,
+		q:         q,
+		mask:      q.itemMask(ex.Idx.Space.NumAttrs()),
+		dq:        dq,
+		minCount:  minCount,
+		st:        &Stats{SubsetSize: size, MinCount: minCount},
+		localSupp: make(map[int]int),
+	}
+	switch ex.Mode {
+	case ScanCheck:
+		c.scan = true
+	case BitmapCheck:
+		c.scan = false
+	default:
+		// A scan touches one word per subset record; a bitmap
+		// intersection touches every word of the universe once.
+		c.scan = size <= ex.Idx.Dataset.NumRecords()/32
+	}
+	if c.scan {
+		c.dqIDs = dq.IDs()
+	}
+	return c
+}
+
+// countLocal is the record-level support check: how many records of the
+// focal subset the tidset covers. In scan mode it probes each D^Q
+// record id (cost ∝ |D^Q|, the paper's record-level scan); in bitmap
+// mode it intersects whole bitmaps (cost ∝ dataset words).
+func (c *qctx) countLocal(tids *bitset.Set) int {
+	if c.scan {
+		n := 0
+		for _, id := range c.dqIDs {
+			if tids.Contains(id) {
+				n++
+			}
+		}
+		return n
+	}
+	return bitset.AndCount(tids, c.dq)
+}
+
+// candidate is one MIP emitted by (SUPPORTED-)SEARCH.
+type candidate struct {
+	id  int32
+	rel itemset.Rel
+}
+
+// search runs the SEARCH (supported=false) or SUPPORTED-SEARCH
+// (supported=true) operator and classifies the overlapping MIPs.
+func (c *qctx) search(supported bool) []candidate {
+	var out []candidate
+	visit := func(e rtree.Entry, rel itemset.Rel) bool {
+		out = append(out, candidate{id: e.ID, rel: rel})
+		if rel == itemset.Contained {
+			c.st.Contained++
+		} else {
+			c.st.PartialOverlap++
+		}
+		return true
+	}
+	var st rtree.SearchStats
+	if supported {
+		st = c.ex.Idx.RTree.SupportedSearch(c.q.Region, c.minCount, visit)
+	} else {
+		st = c.ex.Idx.RTree.Search(c.q.Region, visit)
+	}
+	c.st.RNodesVisited += st.NodesVisited
+	c.st.REntriesChecked += st.EntriesChecked
+	c.st.Candidates = len(out)
+	return out
+}
+
+// localSupport performs (or recalls) the record-level support check of
+// CFI id against D^Q — the expensive operation ELIMINATE exists to
+// batch and SS-E-U-V exists to avoid for contained MIPs.
+func (c *qctx) localSupport(id int32) int {
+	if s, ok := c.localSupp[int(id)]; ok {
+		return s
+	}
+	c.st.SupportChecks++
+	s := c.countLocal(c.ex.Idx.ITTree.Set(int(id)).Tids)
+	c.localSupp[int(id)] = s
+	return s
+}
+
+// qualified is a candidate rule body that passed the item-attribute
+// filter and the local minsupport check. body is the candidate itemset
+// projected onto the item attributes and normalized to its closure's
+// projection; id is the CFI acting as that body's closure (carrying its
+// tidset).
+type qualified struct {
+	id    int32
+	body  itemset.Set
+	local int
+}
+
+// eliminate is the ELIMINATE operator: item-attribute filtering plus the
+// record-level minsupport check for every candidate.
+//
+// Item-attribute semantics: a candidate CFI is projected onto the item
+// attributes; the projection is normalized to the projection of its own
+// closure (the "Aitem-closure"), so that the emitted rule bodies are
+// exactly the closed itemsets of the item-attribute subspace that the
+// index covers. When the ITEM ATTRIBUTES clause is absent the projection
+// is the identity and candidates pass through unchanged. Projections of
+// fewer than two items cannot form rules; they are dropped, and their
+// Aitem-closures are still discovered through the closure CFI itself,
+// which the search also emits (its box covers the projection's records).
+//
+// When containedShortcut is set (SS-E-U-V), MIPs whose bounding box is
+// contained in D^Q take their global support as the local one
+// (Lemma 4.5) without a record-level check.
+func (c *qctx) eliminate(cands []candidate, containedShortcut bool) []qualified {
+	idx := c.ex.Idx
+	seen := make(map[string]bool)
+	var out []qualified
+	for _, cd := range cands {
+		full := idx.ITTree.Set(int(cd.id))
+		body, all := full.Items.RestrictedTo(idx.Space, c.mask)
+		if len(body) < 2 {
+			c.st.ItemFiltered++
+			continue
+		}
+		cid := cd.id
+		rel := cd.rel
+		if !all {
+			// Normalize the projection to its Aitem-closure.
+			id, ok := idx.ITTree.ClosureID(body)
+			if !ok {
+				// Unreachable: a subset of a stored CFI is globally
+				// frequent at the primary support by monotonicity.
+				c.st.ItemFiltered++
+				continue
+			}
+			cid = int32(id)
+			body, _ = idx.ITTree.Set(id).Items.RestrictedTo(idx.Space, c.mask)
+			if len(body) < 2 {
+				c.st.ItemFiltered++
+				continue
+			}
+			rel = c.q.Region.Relation(idx.Boxes[id])
+		}
+		if !all {
+			// Distinct CFIs are distinct bodies on the identity path;
+			// only projections can collide.
+			k := body.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		var local int
+		if containedShortcut && rel == itemset.Contained {
+			local = idx.ITTree.Set(int(cid)).Support
+			c.localSupp[int(cid)] = local
+		} else {
+			local = c.localSupport(cid)
+		}
+		if local < c.minCount {
+			c.st.Eliminated++
+			continue
+		}
+		out = append(out, qualified{id: cid, body: body, local: local})
+	}
+	c.st.Qualified = len(out)
+	return out
+}
+
+// oracle returns the local-support oracle VERIFY hands to the rule
+// generator. The support of a rule part X within D^Q is counted
+// directly against the per-item tidsets — in scan mode, |D^Q| record
+// probes with at most C_X tidset tests each, which is exactly the
+// paper's COST(V) record-level term (Σ C_i · |D^Q|) — memoized per
+// itemset so repeated antecedents and singleton consequents are free.
+func (c *qctx) oracle() rules.SupportOracle {
+	cache := make(map[string]int)
+	tidsets := c.ex.Idx.Tidsets
+	return func(x itemset.Set) int {
+		c.st.OracleCalls++
+		if len(x) == 0 {
+			return -1
+		}
+		key := x.Key()
+		if s, ok := cache[key]; ok {
+			return s
+		}
+		c.st.OracleMisses++
+		c.st.SupportChecks++
+		var s int
+		if c.scan {
+			for _, id := range c.dqIDs {
+				hit := true
+				for _, it := range x {
+					if !tidsets[it].Contains(id) {
+						hit = false
+						break
+					}
+				}
+				if hit {
+					s++
+				}
+			}
+		} else {
+			acc := bitset.Intersect(c.dq, tidsets[x[0]])
+			for _, it := range x[1:] {
+				acc.And(tidsets[it])
+			}
+			s = acc.Count()
+		}
+		cache[key] = s
+		return s
+	}
+}
+
+// verify is the VERIFY operator: rule generation plus minconfidence
+// checks for every qualified itemset.
+func (c *qctx) verify(quals []qualified) []rules.Rule {
+	oracle := c.oracle()
+	var out []rules.Rule
+	for _, ql := range quals {
+		rs := rules.Generate(ql.body, ql.local, c.st.SubsetSize, c.q.MinConfidence,
+			oracle, rules.Options{MaxConsequent: c.q.MaxConsequent})
+		out = append(out, rs...)
+	}
+	out = rules.Dedupe(out)
+	c.st.RulesEmitted = len(out)
+	return out
+}
+
+// runMIPPlan executes the five MIP-index-based plans, which share the
+// operator skeleton and differ in the SEARCH variant, the batching of
+// the support check, and the contained-MIP shortcut.
+func (ex *Executor) runMIPPlan(kind Kind, q *Query) (*Result, error) {
+	c := ex.newCtx(q)
+	if c.st.SubsetSize == 0 {
+		return &Result{Stats: *c.st}, nil
+	}
+	supported := kind == SSEV || kind == SSVS || kind == SSEUV
+	cands := c.search(supported)
+
+	var quals []qualified
+	switch kind {
+	case SEV, SSEV:
+		// Separate ELIMINATE pass, then VERIFY.
+		quals = c.eliminate(cands, false)
+	case SVS, SSVS:
+		// SUPPORTED-VERIFY: the support check is interleaved with rule
+		// generation; in this in-memory realization the work is the
+		// same as ELIMINATE's, only unbatched (no separate candidate
+		// list materialization).
+		quals = c.eliminate(cands, false)
+	case SSEUV:
+		// Differential treatment: contained MIPs skip the record-level
+		// check entirely and meet the partially overlapped survivors at
+		// the UNION operator.
+		quals = c.eliminate(cands, true)
+	}
+	rs := c.verify(quals)
+	res := &Result{Rules: rs, Stats: *c.st}
+	return res, nil
+}

@@ -1,0 +1,129 @@
+package plans
+
+import (
+	"testing"
+
+	"colarm/internal/itemset"
+)
+
+func TestCheckModeStrings(t *testing.T) {
+	cases := []struct {
+		mode CheckMode
+		want string
+	}{{AutoCheck, "auto"}, {ScanCheck, "scan"}, {BitmapCheck, "bitmap"}}
+	for _, c := range cases {
+		if c.mode.String() != c.want {
+			t.Errorf("%v.String() = %q", c.mode, c.mode.String())
+		}
+		got, err := ParseCheckMode(c.want)
+		if err != nil || got != c.mode {
+			t.Errorf("ParseCheckMode(%q) = %v, %v", c.want, got, err)
+		}
+	}
+	if m, err := ParseCheckMode(""); err != nil || m != AutoCheck {
+		t.Error("empty mode must parse to auto")
+	}
+	if _, err := ParseCheckMode("bogus"); err == nil {
+		t.Error("bogus mode must error")
+	}
+	if CheckMode(99).String() == "" {
+		t.Error("unknown mode must still render")
+	}
+}
+
+// TestCheckModesAgree runs the same query under all three modes and
+// asserts identical answers — the modes are pure implementation
+// variants of the record-level check.
+func TestCheckModesAgree(t *testing.T) {
+	idx := salaryIndex(t, 0.18)
+	reg, err := idx.RegionFromSelections(map[string][]string{"Location": {"Boston", "SFO"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &Query{Region: reg, MinSupport: 0.4, MinConfidence: 0.7}
+	var ref *Result
+	for _, mode := range []CheckMode{AutoCheck, ScanCheck, BitmapCheck} {
+		ex := NewExecutor(idx)
+		ex.Mode = mode
+		for _, k := range Kinds() {
+			res, err := ex.Run(k, q)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", mode, k, err)
+			}
+			if k != SSEUV {
+				continue
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if len(res.Rules) != len(ref.Rules) {
+				t.Fatalf("%v: %d rules, want %d", mode, len(res.Rules), len(ref.Rules))
+			}
+			for i := range res.Rules {
+				if res.Rules[i].Key() != ref.Rules[i].Key() ||
+					res.Rules[i].SupportCount != ref.Rules[i].SupportCount {
+					t.Fatalf("%v rule %d differs", mode, i)
+				}
+			}
+		}
+	}
+}
+
+// TestStatsCounters sanity-checks the operator instrumentation the cost
+// model is calibrated against.
+func TestStatsCounters(t *testing.T) {
+	idx := salaryIndex(t, 0.18)
+	ex := NewExecutor(idx)
+	ex.Mode = ScanCheck
+	reg := itemset.RegionFor(idx.Space)
+	q := &Query{Region: reg, MinSupport: 0.3, MinConfidence: 0.5}
+	res, err := ex.Run(SEV, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.SubsetSize != 11 {
+		t.Errorf("SubsetSize = %d", st.SubsetSize)
+	}
+	if st.Candidates != st.Contained+st.PartialOverlap {
+		t.Errorf("candidates %d != contained %d + partial %d", st.Candidates, st.Contained, st.PartialOverlap)
+	}
+	if st.RNodesVisited == 0 || st.REntriesChecked == 0 {
+		t.Error("search counters empty")
+	}
+	if st.Qualified > st.Candidates {
+		t.Error("qualified exceeds candidates")
+	}
+	if st.RulesEmitted != len(res.Rules) {
+		t.Errorf("RulesEmitted %d != %d", st.RulesEmitted, len(res.Rules))
+	}
+	if st.Duration <= 0 {
+		t.Error("duration not recorded")
+	}
+	// Full-domain region: every candidate contained.
+	if st.PartialOverlap != 0 {
+		t.Errorf("full-domain query saw %d partial MIPs", st.PartialOverlap)
+	}
+	// ARM stats.
+	resARM, err := ex.Run(ARM, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resARM.Stats.ARMRecordsScanned != 11 {
+		t.Errorf("ARM scanned %d records", resARM.Stats.ARMRecordsScanned)
+	}
+	if resARM.Stats.ARMFrequentItemsets == 0 {
+		t.Error("ARM mined nothing")
+	}
+}
+
+func TestUnknownKindError(t *testing.T) {
+	idx := salaryIndex(t, 0.18)
+	ex := NewExecutor(idx)
+	reg := itemset.RegionFor(idx.Space)
+	q := &Query{Region: reg, MinSupport: 0.3, MinConfidence: 0.5}
+	if _, err := ex.Run(Kind(42), q); err == nil {
+		t.Error("unknown kind must error")
+	}
+}

@@ -1,0 +1,168 @@
+// Package plans implements COLARM's online query processing phase
+// (paper Section 4): the isolated mining operators — SEARCH,
+// SUPPORTED-SEARCH, ELIMINATE, VERIFY, SUPPORTED-VERIFY, UNION, SELECT
+// and ARM — and the six execution plans pipelined from them:
+//
+//	S-E-V      basic pipeline
+//	S-VS       selection push-up (merge ELIMINATE into VERIFY)
+//	SS-E-V     supported R-tree filter
+//	SS-VS      supported filter + selection push-up
+//	SS-E-U-V   supported filter + differential treatment of contained
+//	           vs partially overlapped MIPs (Lemma 4.5)
+//	ARM        traditional from-scratch rule mining over the focal subset
+//
+// The five MIP-index plans compute the identical canonical answer: the
+// rules generated from the item-attribute projections (normalized to
+// their closures) of every prestored closed frequent itemset that
+// reaches minsupport within the focal subset, with every rule verified
+// against minconfidence in the subset. They differ only in the work
+// performed.
+//
+// The ARM plan is the from-scratch ground truth: it mines the extracted
+// subset directly with CHARM, so it is not limited to itemsets above
+// the index's primary support. Its answer covers the MIP plans' answer
+// (every index rule reappears with the same antecedent, support count
+// and confidence, represented through its local closure) and may
+// additionally contain locally frequent rules the index cannot see.
+package plans
+
+import (
+	"fmt"
+	"time"
+
+	"colarm/internal/itemset"
+	"colarm/internal/mip"
+	"colarm/internal/rules"
+)
+
+// Kind identifies one of the six mining plans (paper Table 4).
+type Kind int
+
+const (
+	SEV Kind = iota
+	SVS
+	SSEV
+	SSVS
+	SSEUV
+	ARM
+	numKinds
+)
+
+// Kinds lists every plan in display order.
+func Kinds() []Kind { return []Kind{SEV, SVS, SSEV, SSVS, SSEUV, ARM} }
+
+func (k Kind) String() string {
+	switch k {
+	case SEV:
+		return "S-E-V"
+	case SVS:
+		return "S-VS"
+	case SSEV:
+		return "SS-E-V"
+	case SSVS:
+		return "SS-VS"
+	case SSEUV:
+		return "SS-E-U-V"
+	case ARM:
+		return "ARM"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind resolves a plan name (as printed by String) to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("plans: unknown plan %q", s)
+}
+
+// Query is one localized mining request (paper Section 2.2).
+type Query struct {
+	// Region is the focal subset D^Q selected by the RANGE clause.
+	Region *itemset.Region
+	// ItemAttrs flags, per attribute, whether it participates in rule
+	// bodies (the ITEM ATTRIBUTES clause); nil means all attributes.
+	ItemAttrs []bool
+	// MinSupport is minsupp as a fraction of |D^Q|, in (0,1].
+	MinSupport float64
+	// MinConfidence is minconf in [0,1].
+	MinConfidence float64
+	// MaxConsequent caps rule consequent size (0 = unlimited).
+	MaxConsequent int
+}
+
+// Validate checks the query parameters against an index.
+func (q *Query) Validate(idx *mip.Index) error {
+	if q.Region == nil {
+		return fmt.Errorf("plans: query has no region")
+	}
+	if q.Region.Dims() != idx.Space.NumAttrs() {
+		return fmt.Errorf("plans: region has %d dims, dataset has %d attributes", q.Region.Dims(), idx.Space.NumAttrs())
+	}
+	if q.MinSupport <= 0 || q.MinSupport > 1 {
+		return fmt.Errorf("plans: minsupport %v outside (0,1]", q.MinSupport)
+	}
+	if q.MinConfidence < 0 || q.MinConfidence > 1 {
+		return fmt.Errorf("plans: minconfidence %v outside [0,1]", q.MinConfidence)
+	}
+	if q.ItemAttrs != nil && len(q.ItemAttrs) != idx.Space.NumAttrs() {
+		return fmt.Errorf("plans: item attribute mask has %d entries, dataset has %d attributes", len(q.ItemAttrs), idx.Space.NumAttrs())
+	}
+	return nil
+}
+
+// itemMask returns the effective item-attribute mask (all-true when the
+// clause was omitted).
+func (q *Query) itemMask(n int) []bool {
+	if q.ItemAttrs != nil {
+		return q.ItemAttrs
+	}
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = true
+	}
+	return mask
+}
+
+// Stats instruments one plan execution with the operator-level counters
+// the cost model is calibrated against.
+type Stats struct {
+	Plan       Kind
+	SubsetSize int // |D^Q|
+	MinCount   int // minsupp as an absolute record count
+
+	// SEARCH / SUPPORTED-SEARCH.
+	RNodesVisited   int // R-tree nodes touched
+	REntriesChecked int // leaf entries tested
+	Candidates      int // |{I^Q_S}| or |{I^Q_SS}|
+	Contained       int // candidates fully contained in D^Q
+	PartialOverlap  int // candidates partially overlapping D^Q
+
+	// ELIMINATE / SUPPORTED-VERIFY support checking.
+	ItemFiltered  int // candidates dropped by the item-attribute filter
+	SupportChecks int // record-level tidset∩D^Q counts performed
+	Eliminated    int // candidates failing local minsupport
+	Qualified     int // |{I^Q_E}| (or equivalent) reaching rule generation
+
+	// VERIFY.
+	OracleCalls  int // antecedent/consequent support lookups
+	OracleMisses int // lookups that needed a fresh tidset intersection
+	RulesEmitted int
+
+	// ARM only.
+	ARMRecordsScanned   int // SELECT pass over the dataset
+	ARMFrequentItemsets int
+
+	Duration time.Duration
+}
+
+// Result is the outcome of executing a plan: the localized rules in
+// canonical order plus execution statistics.
+type Result struct {
+	Rules []rules.Rule
+	Stats Stats
+}

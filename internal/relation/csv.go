@@ -1,0 +1,84 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV loads a dataset from CSV. The first row must be a header of
+// attribute names. Every subsequent row becomes one record; all columns
+// are treated as nominal strings (discretize numeric columns first with
+// DiscretizeColumn or load through LoadCSVWithSpec).
+func ReadCSV(name string, r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validate lengths ourselves for better errors
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("relation: csv %q is empty", name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("relation: csv %q header: %w", name, err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("relation: csv %q has an empty header", name)
+	}
+	b := NewBuilder(name, header...)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: csv %q line %d: %w", name, line+1, err)
+		}
+		line++
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("relation: csv %q line %d has %d fields, header has %d", name, line, len(rec), len(header))
+		}
+		if err := b.AddRecord(rec...); err != nil {
+			return nil, fmt.Errorf("relation: csv %q line %d: %w", name, line, err)
+		}
+	}
+	d := b.Build()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// LoadCSV opens path and reads it with ReadCSV, naming the dataset after
+// the file path.
+func LoadCSV(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(path, f)
+}
+
+// WriteCSV writes the dataset (header plus one row per record) to w.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(d.Attrs))
+	for i, a := range d.Attrs {
+		header[i] = a.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(d.Attrs))
+	for r := 0; r < d.m; r++ {
+		for a := range d.Attrs {
+			row[a] = d.ValueString(r, a)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,164 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Discretization of quantitative attributes into disjoint intervals is an
+// offline, orthogonal step in the paper (Section 2, footnote 3): the
+// MIP-index is built over already-discretized nominal cells. The helpers
+// here provide the two classic schemes so CSV datasets with numeric
+// columns can be prepared for mining.
+
+// BinningMethod selects how numeric values are cut into intervals.
+type BinningMethod int
+
+const (
+	// EqualWidth splits [min,max] into k intervals of equal length.
+	EqualWidth BinningMethod = iota
+	// EqualFrequency splits the sorted values into k intervals holding
+	// (approximately) the same number of records.
+	EqualFrequency
+)
+
+func (m BinningMethod) String() string {
+	switch m {
+	case EqualWidth:
+		return "equal-width"
+	case EqualFrequency:
+		return "equal-frequency"
+	default:
+		return fmt.Sprintf("BinningMethod(%d)", int(m))
+	}
+}
+
+// Interval is one discretization bucket [Lo, Hi). The last interval of an
+// attribute is closed on both ends so max values are covered.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Label renders the interval the way the paper writes discretized cells,
+// e.g. "20-30".
+func (iv Interval) Label() string {
+	return trimFloat(iv.Lo) + "-" + trimFloat(iv.Hi)
+}
+
+func trimFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', 6, 64)
+}
+
+// CutPoints computes the k+1 boundaries for the chosen method over the
+// given values. It returns an error when the values cannot support k bins
+// (fewer than two distinct values, or k < 1).
+func CutPoints(values []float64, k int, method BinningMethod) ([]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("relation: bin count %d < 1", k)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("relation: no values to discretize")
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("relation: non-finite value %v", v)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo == hi {
+		return nil, fmt.Errorf("relation: all values equal (%v); nothing to discretize", lo)
+	}
+	cuts := make([]float64, 0, k+1)
+	switch method {
+	case EqualWidth:
+		w := (hi - lo) / float64(k)
+		for i := 0; i <= k; i++ {
+			cuts = append(cuts, lo+float64(i)*w)
+		}
+		cuts[k] = hi // avoid float drift on the top edge
+	case EqualFrequency:
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		cuts = append(cuts, lo)
+		for i := 1; i < k; i++ {
+			q := sorted[i*len(sorted)/k]
+			if q > cuts[len(cuts)-1] {
+				cuts = append(cuts, q)
+			}
+		}
+		cuts = append(cuts, hi)
+	default:
+		return nil, fmt.Errorf("relation: unknown binning method %v", method)
+	}
+	return cuts, nil
+}
+
+// BinOf returns the interval index of v for the given ascending cut
+// points (len(cuts)-1 bins). Values at the top edge fall into the last
+// bin.
+func BinOf(v float64, cuts []float64) int {
+	n := len(cuts) - 1
+	// binary search for the first cut > v
+	i := sort.SearchFloat64s(cuts[1:], math.Nextafter(v, math.Inf(1)))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// DiscretizeColumn rewrites attribute ai of d (whose dictionary values
+// must all parse as floats) into k interval labels, returning a new
+// Dataset. The original dataset is not modified.
+func DiscretizeColumn(d *Dataset, ai int, k int, method BinningMethod) (*Dataset, error) {
+	if ai < 0 || ai >= len(d.Attrs) {
+		return nil, fmt.Errorf("relation: attribute index %d out of range", ai)
+	}
+	vals := make([]float64, d.NumRecords())
+	for r := 0; r < d.NumRecords(); r++ {
+		f, err := strconv.ParseFloat(d.ValueString(r, ai), 64)
+		if err != nil {
+			return nil, fmt.Errorf("relation: attribute %q record %d: %w", d.Attrs[ai].Name, r, err)
+		}
+		vals[r] = f
+	}
+	cuts, err := CutPoints(vals, k, method)
+	if err != nil {
+		return nil, fmt.Errorf("relation: attribute %q: %w", d.Attrs[ai].Name, err)
+	}
+	names := make([]string, len(d.Attrs))
+	for i, a := range d.Attrs {
+		names[i] = a.Name
+	}
+	b := NewBuilder(d.Name, names...)
+	// Pre-register interval labels in ascending order so value indices
+	// preserve the numeric order (the R-tree axis must be ordered).
+	for i := 0; i+1 < len(cuts); i++ {
+		b.AddValue(ai, Interval{Lo: cuts[i], Hi: cuts[i+1]}.Label())
+	}
+	row := make([]string, len(d.Attrs))
+	for r := 0; r < d.NumRecords(); r++ {
+		for a := range d.Attrs {
+			if a == ai {
+				bin := BinOf(vals[r], cuts)
+				row[a] = Interval{Lo: cuts[bin], Hi: cuts[bin+1]}.Label()
+			} else {
+				row[a] = d.ValueString(r, a)
+			}
+		}
+		if err := b.AddRecord(row...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}

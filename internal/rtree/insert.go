@@ -1,0 +1,329 @@
+package rtree
+
+import (
+	"fmt"
+
+	"colarm/internal/itemset"
+)
+
+// Insert adds an entry to a dynamic tree (Guttman's algorithm with the
+// tree's configured split). Packed trees accept inserts too; they simply
+// lose their perfect utilization.
+func (t *Tree) Insert(e Entry) error {
+	if e.Box.Dims() != t.dims {
+		return fmt.Errorf("rtree: entry has %d dims, tree has %d", e.Box.Dims(), t.dims)
+	}
+	if e.Box.IsEmpty() {
+		return fmt.Errorf("rtree: refusing to insert empty box")
+	}
+	l := t.chooseLeaf(t.root, e, nil)
+	leaf := l.path[len(l.path)-1]
+	leaf.entries = append(leaf.entries, e)
+	t.size++
+	t.adjustUp(l.path, e.Box, e.Support)
+	if len(leaf.entries) > t.fanout {
+		t.splitUp(l.path)
+	}
+	return nil
+}
+
+type leafPath struct {
+	path []*node
+}
+
+// chooseLeaf descends from n picking, at each level, the child whose box
+// needs the least enlargement to include e (ties by smaller area, then
+// first).
+func (t *Tree) chooseLeaf(n *node, e Entry, path []*node) *leafPath {
+	path = append(path, n)
+	if n.leaf {
+		return &leafPath{path: path}
+	}
+	best := -1
+	var bestEnl, bestArea float64
+	for i, c := range n.children {
+		enl := enlargement(c.box, e.Box)
+		area := boxArea(c.box)
+		if best < 0 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return t.chooseLeaf(n.children[best], e, path)
+}
+
+// adjustUp grows boxes and max-support aggregates along the insert path.
+func (t *Tree) adjustUp(path []*node, b itemset.Box, support int32) {
+	for _, n := range path {
+		if n.box.IsEmpty() {
+			n.box = b.Clone()
+		} else {
+			n.box.ExtendBox(b)
+		}
+		if support > n.maxSupport {
+			n.maxSupport = support
+		}
+	}
+}
+
+// splitUp splits the overfull node at the end of path and propagates
+// splits (and possibly a new root) upward.
+func (t *Tree) splitUp(path []*node) {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		over := (n.leaf && len(n.entries) > t.fanout) || (!n.leaf && len(n.children) > t.fanout)
+		if !over {
+			refresh(n)
+			continue
+		}
+		a, b := t.splitNode(n)
+		if i == 0 {
+			// Grow a new root.
+			t.root = &node{children: []*node{a, b}, box: itemset.NewBox(t.dims)}
+			refresh(t.root)
+			return
+		}
+		parent := path[i-1]
+		// Replace n with a, add b.
+		for j, c := range parent.children {
+			if c == n {
+				parent.children[j] = a
+				break
+			}
+		}
+		parent.children = append(parent.children, b)
+	}
+}
+
+// refresh recomputes a node's box and max-support from its members.
+func refresh(n *node) {
+	n.box = itemset.NewBox(dimsOf(n))
+	n.maxSupport = 0
+	if n.leaf {
+		for _, e := range n.entries {
+			n.box.ExtendBox(e.Box)
+			if e.Support > n.maxSupport {
+				n.maxSupport = e.Support
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		n.box.ExtendBox(c.box)
+		if c.maxSupport > n.maxSupport {
+			n.maxSupport = c.maxSupport
+		}
+	}
+}
+
+func dimsOf(n *node) int {
+	if n.box.Dims() > 0 {
+		return n.box.Dims()
+	}
+	if n.leaf && len(n.entries) > 0 {
+		return n.entries[0].Box.Dims()
+	}
+	if !n.leaf && len(n.children) > 0 {
+		return dimsOf(n.children[0])
+	}
+	return 0
+}
+
+// member abstracts leaf entries and interior children so one split
+// implementation serves both.
+type member struct {
+	box     itemset.Box
+	entry   Entry
+	child   *node
+	isChild bool
+}
+
+func (t *Tree) members(n *node) []member {
+	if n.leaf {
+		ms := make([]member, len(n.entries))
+		for i, e := range n.entries {
+			ms[i] = member{box: e.Box, entry: e}
+		}
+		return ms
+	}
+	ms := make([]member, len(n.children))
+	for i, c := range n.children {
+		ms[i] = member{box: c.box, child: c, isChild: true}
+	}
+	return ms
+}
+
+// splitNode divides an overfull node into two using the configured
+// algorithm and returns the two halves (the first reuses n's identity
+// semantics but is a fresh node).
+func (t *Tree) splitNode(n *node) (*node, *node) {
+	ms := t.members(n)
+	var seedA, seedB int
+	if t.split == LinearSplit {
+		seedA, seedB = linearSeeds(ms, t.dims)
+	} else {
+		seedA, seedB = quadraticSeeds(ms)
+	}
+	ga := &group{box: ms[seedA].box.Clone()}
+	gb := &group{box: ms[seedB].box.Clone()}
+	ga.members = append(ga.members, ms[seedA])
+	gb.members = append(gb.members, ms[seedB])
+
+	rest := make([]member, 0, len(ms)-2)
+	for i, m := range ms {
+		if i != seedA && i != seedB {
+			rest = append(rest, m)
+		}
+	}
+	for len(rest) > 0 {
+		// Force assignment when one group must take all remaining
+		// members to reach minimum fill.
+		if len(ga.members)+len(rest) <= t.minFil {
+			for _, m := range rest {
+				ga.add(m)
+			}
+			break
+		}
+		if len(gb.members)+len(rest) <= t.minFil {
+			for _, m := range rest {
+				gb.add(m)
+			}
+			break
+		}
+		// PickNext: the member with the greatest preference difference.
+		bestIdx, bestDiff := 0, -1.0
+		for i, m := range rest {
+			da := enlargement(ga.box, m.box)
+			db := enlargement(gb.box, m.box)
+			diff := da - db
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+			}
+		}
+		m := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		da := enlargement(ga.box, m.box)
+		db := enlargement(gb.box, m.box)
+		switch {
+		case da < db:
+			ga.add(m)
+		case db < da:
+			gb.add(m)
+		case len(ga.members) <= len(gb.members):
+			ga.add(m)
+		default:
+			gb.add(m)
+		}
+	}
+	return ga.toNode(n.leaf), gb.toNode(n.leaf)
+}
+
+type group struct {
+	box     itemset.Box
+	members []member
+}
+
+func (g *group) add(m member) {
+	g.box.ExtendBox(m.box)
+	g.members = append(g.members, m)
+}
+
+func (g *group) toNode(leaf bool) *node {
+	n := &node{leaf: leaf, box: g.box}
+	for _, m := range g.members {
+		if m.isChild {
+			n.children = append(n.children, m.child)
+			if m.child.maxSupport > n.maxSupport {
+				n.maxSupport = m.child.maxSupport
+			}
+		} else {
+			n.entries = append(n.entries, m.entry)
+			if m.entry.Support > n.maxSupport {
+				n.maxSupport = m.entry.Support
+			}
+		}
+	}
+	return n
+}
+
+// quadraticSeeds picks the pair wasting the most area if grouped
+// together (Guttman's PickSeeds).
+func quadraticSeeds(ms []member) (int, int) {
+	sa, sb, worst := 0, 1, -1.0
+	for i := 0; i < len(ms); i++ {
+		for j := i + 1; j < len(ms); j++ {
+			u := ms[i].box.Clone()
+			u.ExtendBox(ms[j].box)
+			waste := boxArea(u) - boxArea(ms[i].box) - boxArea(ms[j].box)
+			if waste > worst {
+				sa, sb, worst = i, j, waste
+			}
+		}
+	}
+	return sa, sb
+}
+
+// linearSeeds picks, across dimensions, the pair with the greatest
+// normalized separation (Guttman's LinearPickSeeds).
+func linearSeeds(ms []member, dims int) (int, int) {
+	bestA, bestB, bestSep := 0, 1, -1.0
+	for d := 0; d < dims; d++ {
+		loMaxIdx, hiMinIdx := 0, 0
+		lo, hi := ms[0].box.Lo[d], ms[0].box.Hi[d]
+		for i, m := range ms {
+			if m.box.Lo[d] > ms[loMaxIdx].box.Lo[d] {
+				loMaxIdx = i
+			}
+			if m.box.Hi[d] < ms[hiMinIdx].box.Hi[d] {
+				hiMinIdx = i
+			}
+			if m.box.Lo[d] < lo {
+				lo = m.box.Lo[d]
+			}
+			if m.box.Hi[d] > hi {
+				hi = m.box.Hi[d]
+			}
+		}
+		if loMaxIdx == hiMinIdx {
+			continue
+		}
+		width := float64(hi - lo)
+		if width <= 0 {
+			width = 1
+		}
+		sep := float64(ms[loMaxIdx].box.Lo[d]-ms[hiMinIdx].box.Hi[d]) / width
+		if sep > bestSep {
+			bestA, bestB, bestSep = hiMinIdx, loMaxIdx, sep
+		}
+	}
+	if bestA == bestB {
+		bestB = (bestA + 1) % len(ms)
+	}
+	return bestA, bestB
+}
+
+// boxArea is the volume of a box; computed in log space would be safer
+// for extreme dimensionality, but float64 covers the value-index domains
+// COLARM indexes (cardinalities < 2^10, dims < 100).
+func boxArea(b itemset.Box) float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	a := 1.0
+	for d := range b.Lo {
+		a *= float64(b.Hi[d] - b.Lo[d] + 1)
+	}
+	return a
+}
+
+// enlargement is how much b's area grows to include o.
+func enlargement(b, o itemset.Box) float64 {
+	if b.IsEmpty() {
+		return boxArea(o)
+	}
+	u := b.Clone()
+	u.ExtendBox(o)
+	return boxArea(u) - boxArea(b)
+}

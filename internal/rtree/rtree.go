@@ -1,0 +1,308 @@
+// Package rtree implements an n-dimensional R-tree over integer
+// coordinate boxes, the first layer of COLARM's MIP-index (paper Section
+// 3.3). Leaf entries are the bounding boxes of closed frequent itemsets
+// (MIPs) tagged with their global support counts; the SUPPORTED-SEARCH
+// operator exploits a per-node max-support aggregate to prune subtrees
+// that cannot satisfy the query's minimum support (Lemma 4.4).
+//
+// Trees are built either by bulk packing (STR or Morton order, see
+// build.go — the offline default, following Kamel & Faloutsos' packed
+// R-trees) or by dynamic insertion with Guttman's linear or quadratic
+// node splits (insert.go).
+package rtree
+
+import (
+	"fmt"
+
+	"colarm/internal/itemset"
+)
+
+// DefaultFanout is the default maximum number of entries per node.
+const DefaultFanout = 16
+
+// Entry is one leaf record: the MIP bounding box of a closed frequent
+// itemset, the itemset's id in the IT-tree, and its global support count.
+type Entry struct {
+	Box     itemset.Box
+	ID      int32
+	Support int32
+}
+
+type node struct {
+	box        itemset.Box
+	maxSupport int32
+	leaf       bool
+	children   []*node
+	entries    []Entry
+}
+
+// Tree is an n-dimensional R-tree. The zero value is not usable; create
+// trees with Bulk, BulkMorton or New.
+type Tree struct {
+	root   *node
+	dims   int
+	fanout int
+	minFil int
+	size   int
+	split  SplitAlgorithm
+}
+
+// SplitAlgorithm selects the node split used by dynamic insertion.
+type SplitAlgorithm int
+
+const (
+	// QuadraticSplit is Guttman's quadratic-cost split (default).
+	QuadraticSplit SplitAlgorithm = iota
+	// LinearSplit is Guttman's linear-cost split.
+	LinearSplit
+)
+
+func (s SplitAlgorithm) String() string {
+	switch s {
+	case QuadraticSplit:
+		return "quadratic"
+	case LinearSplit:
+		return "linear"
+	default:
+		return fmt.Sprintf("SplitAlgorithm(%d)", int(s))
+	}
+}
+
+// New creates an empty dynamic R-tree of the given dimensionality.
+// fanout <= 0 selects DefaultFanout.
+func New(dims, fanout int, split SplitAlgorithm) (*Tree, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("rtree: dimensionality %d < 1", dims)
+	}
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("rtree: fanout %d < 2", fanout)
+	}
+	return &Tree{
+		root:   &node{leaf: true, box: itemset.NewBox(dims)},
+		dims:   dims,
+		fanout: fanout,
+		minFil: max(1, fanout*2/5), // Guttman's 40% minimum fill
+		split:  split,
+	}, nil
+}
+
+// Size returns the number of stored entries.
+func (t *Tree) Size() int { return t.size }
+
+// Dims returns the tree's dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+// Fanout returns the maximum node capacity.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// Height returns the number of levels (1 for a single leaf root, 0 for
+// an empty tree with no entries but a leaf root — we report 1 there too
+// to keep cost formulae simple).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// SearchStats counts the work a traversal performed; the cost model
+// calibrates its unit costs against these.
+type SearchStats struct {
+	NodesVisited   int
+	EntriesChecked int
+	EntriesEmitted int
+}
+
+// Visit receives each matching entry with its classification against the
+// query region (Contained or Partial — Disjoint entries are never
+// emitted). Returning false stops the traversal early.
+type Visit func(e Entry, rel itemset.Rel) bool
+
+// Search visits every entry whose box intersects the region. It
+// implements the paper's SEARCH operator.
+func (t *Tree) Search(reg *itemset.Region, visit Visit) SearchStats {
+	var st SearchStats
+	t.search(t.root, reg, false, -1, visit, &st)
+	return st
+}
+
+// SupportedSearch additionally prunes nodes and entries whose (max)
+// support is below minCount — the paper's SUPPORTED-SEARCH operator over
+// the supported R-tree. minCount is an absolute record count.
+func (t *Tree) SupportedSearch(reg *itemset.Region, minCount int, visit Visit) SearchStats {
+	var st SearchStats
+	t.search(t.root, reg, false, int32(minCount), visit, &st)
+	return st
+}
+
+// search walks the tree. containedAbove short-circuits region tests once
+// an ancestor node box was classified Contained (every descendant box is
+// then Contained as well). minCount < 0 disables support pruning.
+func (t *Tree) search(n *node, reg *itemset.Region, containedAbove bool, minCount int32, visit Visit, st *SearchStats) bool {
+	st.NodesVisited++
+	if n.leaf {
+		for _, e := range n.entries {
+			st.EntriesChecked++
+			if minCount >= 0 && e.Support < minCount {
+				continue
+			}
+			rel := itemset.Contained
+			if !containedAbove {
+				rel = reg.Relation(e.Box)
+				if rel == itemset.Disjoint {
+					continue
+				}
+			}
+			st.EntriesEmitted++
+			if !visit(e, rel) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if minCount >= 0 && c.maxSupport < minCount {
+			continue
+		}
+		childContained := containedAbove
+		if !childContained {
+			switch reg.Relation(c.box) {
+			case itemset.Disjoint:
+				continue
+			case itemset.Contained:
+				childContained = true
+			}
+		}
+		if !t.search(c, reg, childContained, minCount, visit, st) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchBox visits every entry whose box intersects the query box q;
+// plain geometric search used by tests and tools.
+func (t *Tree) SearchBox(q itemset.Box, visit func(e Entry) bool) SearchStats {
+	var st SearchStats
+	t.searchBox(t.root, q, visit, &st)
+	return st
+}
+
+func (t *Tree) searchBox(n *node, q itemset.Box, visit func(e Entry) bool, st *SearchStats) bool {
+	st.NodesVisited++
+	if n.leaf {
+		for _, e := range n.entries {
+			st.EntriesChecked++
+			if q.Intersects(e.Box) {
+				st.EntriesEmitted++
+				if !visit(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if q.Intersects(c.box) {
+			if !t.searchBox(c, q, visit, st) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// All visits every entry in the tree.
+func (t *Tree) All(visit func(e Entry) bool) {
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n.leaf {
+			for _, e := range n.entries {
+				if !visit(e) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+// Validate checks structural invariants: node boxes cover children,
+// max-support aggregates are correct, leaf depth is uniform, and node
+// occupancy respects the fanout. Violations indicate construction bugs.
+func (t *Tree) Validate() error {
+	leafDepth := -1
+	var walk func(n *node, depth int) (itemset.Box, int32, error)
+	walk = func(n *node, depth int) (itemset.Box, int32, error) {
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return itemset.Box{}, 0, fmt.Errorf("rtree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			if len(n.entries) > t.fanout {
+				return itemset.Box{}, 0, fmt.Errorf("rtree: leaf with %d entries exceeds fanout %d", len(n.entries), t.fanout)
+			}
+			b := itemset.NewBox(t.dims)
+			var ms int32
+			for _, e := range n.entries {
+				b.ExtendBox(e.Box)
+				if e.Support > ms {
+					ms = e.Support
+				}
+			}
+			if len(n.entries) > 0 && !n.box.ContainsBox(b) {
+				return itemset.Box{}, 0, fmt.Errorf("rtree: leaf box %v does not cover entries %v", n.box, b)
+			}
+			if n.maxSupport < ms {
+				return itemset.Box{}, 0, fmt.Errorf("rtree: leaf maxSupport %d < entry max %d", n.maxSupport, ms)
+			}
+			return n.box, n.maxSupport, nil
+		}
+		if len(n.children) == 0 {
+			return itemset.Box{}, 0, fmt.Errorf("rtree: interior node with no children")
+		}
+		if len(n.children) > t.fanout {
+			return itemset.Box{}, 0, fmt.Errorf("rtree: interior node with %d children exceeds fanout %d", len(n.children), t.fanout)
+		}
+		b := itemset.NewBox(t.dims)
+		var ms int32
+		for _, c := range n.children {
+			cb, cms, err := walk(c, depth+1)
+			if err != nil {
+				return itemset.Box{}, 0, err
+			}
+			b.ExtendBox(cb)
+			if cms > ms {
+				ms = cms
+			}
+		}
+		if !n.box.ContainsBox(b) {
+			return itemset.Box{}, 0, fmt.Errorf("rtree: node box %v does not cover children %v", n.box, b)
+		}
+		if n.maxSupport < ms {
+			return itemset.Box{}, 0, fmt.Errorf("rtree: node maxSupport %d < children max %d", n.maxSupport, ms)
+		}
+		return n.box, n.maxSupport, nil
+	}
+	_, _, err := walk(t.root, 0)
+	return err
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

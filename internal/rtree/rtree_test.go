@@ -1,0 +1,452 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"colarm/internal/itemset"
+)
+
+// randomEntries builds n random boxes in a dims-dimensional grid with the
+// given per-dimension cardinalities.
+func randomEntries(r *rand.Rand, n, dims int, cards []int) []Entry {
+	es := make([]Entry, n)
+	for i := range es {
+		b := itemset.NewBox(dims)
+		for d := 0; d < dims; d++ {
+			lo := r.Intn(cards[d])
+			hi := lo + r.Intn(cards[d]-lo)
+			b.Lo[d], b.Hi[d] = int32(lo), int32(hi)
+		}
+		es[i] = Entry{Box: b, ID: int32(i), Support: int32(1 + r.Intn(100))}
+	}
+	return es
+}
+
+func randomRegion(r *rand.Rand, cards []int) *itemset.Region {
+	reg := itemset.NewRegion(cards)
+	for d := range cards {
+		if r.Intn(2) == 0 {
+			continue
+		}
+		var vals []int
+		for v := 0; v < cards[d]; v++ {
+			if r.Intn(2) == 0 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			vals = []int{r.Intn(cards[d])}
+		}
+		if err := reg.Restrict(d, vals); err != nil {
+			panic(err)
+		}
+	}
+	return reg
+}
+
+// collect runs a Search and returns matched ids sorted, with their rels.
+func collect(t *Tree, reg *itemset.Region) (ids []int32, rels map[int32]itemset.Rel) {
+	rels = map[int32]itemset.Rel{}
+	t.Search(reg, func(e Entry, rel itemset.Rel) bool {
+		ids = append(ids, e.ID)
+		rels[e.ID] = rel
+		return true
+	})
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return
+}
+
+// linearSearch is the brute-force oracle.
+func linearSearch(es []Entry, reg *itemset.Region, minCount int) (ids []int32, rels map[int32]itemset.Rel) {
+	rels = map[int32]itemset.Rel{}
+	for _, e := range es {
+		if minCount >= 0 && int(e.Support) < minCount {
+			continue
+		}
+		rel := reg.Relation(e.Box)
+		if rel == itemset.Disjoint {
+			continue
+		}
+		ids = append(ids, e.ID)
+		rels[e.ID] = rel
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 8, QuadraticSplit); err == nil {
+		t.Error("dims 0 must error")
+	}
+	if _, err := New(2, 1, QuadraticSplit); err == nil {
+		t.Error("fanout 1 must error")
+	}
+	tr, err := New(2, 0, QuadraticSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Fanout() != DefaultFanout {
+		t.Errorf("default fanout = %d", tr.Fanout())
+	}
+	if tr.Height() != 1 || tr.Size() != 0 {
+		t.Error("fresh tree shape wrong")
+	}
+}
+
+func TestBulkValidation(t *testing.T) {
+	if _, err := Bulk(nil, 0, 8, STRPacking, nil); err == nil {
+		t.Error("dims 0 must error")
+	}
+	if _, err := Bulk(nil, 2, 1, STRPacking, nil); err == nil {
+		t.Error("fanout 1 must error")
+	}
+	bad := []Entry{{Box: itemset.NewBox(3)}}
+	if _, err := Bulk(bad, 2, 8, STRPacking, nil); err == nil {
+		t.Error("dim mismatch must error")
+	}
+	if _, err := Bulk(nil, 2, 8, MortonPacking, nil); err == nil {
+		t.Error("morton without cards must error")
+	}
+	if _, err := Bulk(nil, 2, 8, Packing(42), nil); err == nil {
+		t.Error("unknown packing must error")
+	}
+	// Empty bulk gives a working empty tree.
+	tr, err := Bulk(nil, 2, 8, STRPacking, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 0 {
+		t.Error("empty bulk size")
+	}
+	reg := itemset.NewRegion([]int{4, 4})
+	st := tr.Search(reg, func(Entry, itemset.Rel) bool { t.Error("no entries expected"); return true })
+	if st.EntriesEmitted != 0 {
+		t.Error("empty tree emitted entries")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tr, _ := New(2, 4, QuadraticSplit)
+	if err := tr.Insert(Entry{Box: itemset.NewBox(3)}); err == nil {
+		t.Error("dim mismatch must error")
+	}
+	if err := tr.Insert(Entry{Box: itemset.NewBox(2)}); err == nil {
+		t.Error("empty box must error")
+	}
+}
+
+func TestPackedSearchMatchesLinear(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cards := []int{8, 5, 12}
+	es := randomEntries(r, 500, 3, cards)
+	for _, packing := range []Packing{STRPacking, MortonPacking} {
+		tr, err := Bulk(append([]Entry(nil), es...), 3, 8, packing, cards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%v: %v", packing, err)
+		}
+		if tr.Size() != len(es) {
+			t.Fatalf("%v: size %d", packing, tr.Size())
+		}
+		for trial := 0; trial < 30; trial++ {
+			reg := randomRegion(r, cards)
+			gotIDs, gotRels := collect(tr, reg)
+			wantIDs, wantRels := linearSearch(es, reg, -1)
+			if !eqIDs(gotIDs, wantIDs) {
+				t.Fatalf("%v trial %d: got %d ids, want %d", packing, trial, len(gotIDs), len(wantIDs))
+			}
+			for id, rel := range wantRels {
+				if gotRels[id] != rel {
+					t.Fatalf("%v trial %d: id %d rel %v, want %v", packing, trial, id, gotRels[id], rel)
+				}
+			}
+		}
+	}
+}
+
+func TestSupportedSearchMatchesLinear(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	cards := []int{10, 10}
+	es := randomEntries(r, 400, 2, cards)
+	tr, err := Bulk(append([]Entry(nil), es...), 2, 6, STRPacking, cards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		reg := randomRegion(r, cards)
+		minCount := r.Intn(120)
+		var gotIDs []int32
+		tr.SupportedSearch(reg, minCount, func(e Entry, rel itemset.Rel) bool {
+			gotIDs = append(gotIDs, e.ID)
+			return true
+		})
+		sort.Slice(gotIDs, func(i, j int) bool { return gotIDs[i] < gotIDs[j] })
+		wantIDs, _ := linearSearch(es, reg, minCount)
+		if !eqIDs(gotIDs, wantIDs) {
+			t.Fatalf("trial %d minCount %d: got %d, want %d", trial, minCount, len(gotIDs), len(wantIDs))
+		}
+	}
+}
+
+func TestSupportedSearchPrunesNodes(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	cards := []int{20, 20}
+	es := randomEntries(r, 2000, 2, cards)
+	tr, _ := Bulk(es, 2, 8, STRPacking, cards)
+	reg := itemset.NewRegion(cards) // full domain
+	plain := tr.Search(reg, func(Entry, itemset.Rel) bool { return true })
+	supp := tr.SupportedSearch(reg, 101, func(Entry, itemset.Rel) bool { return true })
+	if supp.EntriesEmitted != 0 {
+		t.Error("no entry has support > 100")
+	}
+	if supp.NodesVisited >= plain.NodesVisited {
+		t.Errorf("supported search visited %d nodes, plain %d — no pruning", supp.NodesVisited, plain.NodesVisited)
+	}
+}
+
+func TestDynamicInsertMatchesLinear(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	cards := []int{9, 7, 6}
+	es := randomEntries(r, 600, 3, cards)
+	for _, split := range []SplitAlgorithm{QuadraticSplit, LinearSplit} {
+		tr, err := New(3, 5, split)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range es {
+			if err := tr.Insert(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tr.Size() != len(es) {
+			t.Fatalf("%v: size %d", split, tr.Size())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%v: %v", split, err)
+		}
+		if tr.Height() < 3 {
+			t.Errorf("%v: expected height >= 3, got %d", split, tr.Height())
+		}
+		for trial := 0; trial < 20; trial++ {
+			reg := randomRegion(r, cards)
+			gotIDs, _ := collect(tr, reg)
+			wantIDs, _ := linearSearch(es, reg, -1)
+			if !eqIDs(gotIDs, wantIDs) {
+				t.Fatalf("%v trial %d: got %d ids, want %d", split, trial, len(gotIDs), len(wantIDs))
+			}
+		}
+	}
+}
+
+func TestSearchBoxAndAll(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	cards := []int{6, 6}
+	es := randomEntries(r, 100, 2, cards)
+	tr, _ := Bulk(append([]Entry(nil), es...), 2, 4, STRPacking, cards)
+
+	q := itemset.NewBox(2)
+	q.Lo[0], q.Hi[0], q.Lo[1], q.Hi[1] = 1, 3, 2, 4
+	var got []int32
+	tr.SearchBox(q, func(e Entry) bool {
+		got = append(got, e.ID)
+		return true
+	})
+	var want []int32
+	for _, e := range es {
+		if q.Intersects(e.Box) {
+			want = append(want, e.ID)
+		}
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if !eqIDs(got, want) {
+		t.Fatalf("SearchBox: got %d, want %d", len(got), len(want))
+	}
+
+	count := 0
+	tr.All(func(Entry) bool { count++; return true })
+	if count != len(es) {
+		t.Errorf("All visited %d, want %d", count, len(es))
+	}
+	// Early stop.
+	count = 0
+	tr.All(func(Entry) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Errorf("All early stop visited %d", count)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	cards := []int{6, 6}
+	es := randomEntries(r, 200, 2, cards)
+	tr, _ := Bulk(es, 2, 4, STRPacking, cards)
+	reg := itemset.NewRegion(cards)
+	n := 0
+	tr.Search(reg, func(Entry, itemset.Rel) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d entries", n)
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	cards := []int{10, 10}
+	es := randomEntries(r, 300, 2, cards)
+	tr, _ := Bulk(es, 2, 8, STRPacking, cards)
+	levels, entries := tr.Stats(cards)
+	if len(levels) != tr.Height() {
+		t.Fatalf("levels %d != height %d", len(levels), tr.Height())
+	}
+	if levels[0].Nodes != 1 {
+		t.Errorf("root level nodes = %d", levels[0].Nodes)
+	}
+	if entries.Count != 300 {
+		t.Errorf("entry count = %d", entries.Count)
+	}
+	for li, ls := range levels {
+		for d, e := range ls.AvgExtent {
+			if e < 0 || e > 1 {
+				t.Errorf("level %d dim %d extent %v outside [0,1]", li, d, e)
+			}
+		}
+		if !sort.SliceIsSorted(ls.Supports, func(a, b int) bool { return ls.Supports[a] < ls.Supports[b] }) {
+			t.Errorf("level %d supports not sorted", li)
+		}
+	}
+	// Root extent should be ~ full domain (random boxes cover it).
+	if levels[0].AvgExtent[0] < 0.5 {
+		t.Errorf("root extent suspiciously small: %v", levels[0].AvgExtent)
+	}
+	// Selectivity helper.
+	if f := FractionAtLeast(entries.Supports, 0); f != 1 {
+		t.Errorf("FractionAtLeast(0) = %v", f)
+	}
+	if f := FractionAtLeast(entries.Supports, 1000); f != 0 {
+		t.Errorf("FractionAtLeast(1000) = %v", f)
+	}
+	if f := FractionAtLeast(nil, 5); f != 0 {
+		t.Errorf("FractionAtLeast(nil) = %v", f)
+	}
+	mid := FractionAtLeast(entries.Supports, 50)
+	if mid <= 0 || mid >= 1 {
+		t.Errorf("FractionAtLeast(50) = %v, want interior", mid)
+	}
+}
+
+func TestPackedLeafUtilization(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	cards := []int{15, 15}
+	es := randomEntries(r, 1024, 2, cards)
+	tr, _ := Bulk(es, 2, 16, STRPacking, cards)
+	// 1024 entries / fanout 16 = exactly 64 full leaves.
+	levels, _ := tr.Stats(cards)
+	leaves := levels[len(levels)-1].Nodes
+	if leaves != 64 {
+		t.Errorf("leaves = %d, want 64 (perfect packing)", leaves)
+	}
+}
+
+func TestQuickSearchEqualsLinear(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dims := 1 + r.Intn(4)
+		cards := make([]int, dims)
+		for d := range cards {
+			cards[d] = 2 + r.Intn(9)
+		}
+		n := 1 + r.Intn(150)
+		es := randomEntries(r, n, dims, cards)
+		fanout := 2 + r.Intn(10)
+
+		var tr *Tree
+		var err error
+		switch r.Intn(4) {
+		case 0:
+			tr, err = Bulk(append([]Entry(nil), es...), dims, fanout, STRPacking, cards)
+		case 1:
+			tr, err = Bulk(append([]Entry(nil), es...), dims, fanout, MortonPacking, cards)
+		case 2:
+			tr, err = New(dims, fanout, QuadraticSplit)
+			if err == nil {
+				for _, e := range es {
+					if err = tr.Insert(e); err != nil {
+						break
+					}
+				}
+			}
+		default:
+			tr, err = New(dims, fanout, LinearSplit)
+			if err == nil {
+				for _, e := range es {
+					if err = tr.Insert(e); err != nil {
+						break
+					}
+				}
+			}
+		}
+		if err != nil {
+			return false
+		}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		reg := randomRegion(r, cards)
+		minCount := -1
+		if r.Intn(2) == 0 {
+			minCount = r.Intn(110)
+		}
+		var gotIDs []int32
+		gotRels := map[int32]itemset.Rel{}
+		fn := func(e Entry, rel itemset.Rel) bool {
+			gotIDs = append(gotIDs, e.ID)
+			gotRels[e.ID] = rel
+			return true
+		}
+		if minCount >= 0 {
+			tr.SupportedSearch(reg, minCount, fn)
+		} else {
+			tr.Search(reg, fn)
+		}
+		sort.Slice(gotIDs, func(i, j int) bool { return gotIDs[i] < gotIDs[j] })
+		wantIDs, wantRels := linearSearch(es, reg, minCount)
+		if !eqIDs(gotIDs, wantIDs) {
+			return false
+		}
+		for id, rel := range wantRels {
+			if gotRels[id] != rel {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitAlgorithmAndPackingStrings(t *testing.T) {
+	if QuadraticSplit.String() != "quadratic" || LinearSplit.String() != "linear" {
+		t.Error("split strings wrong")
+	}
+	if STRPacking.String() != "str" || MortonPacking.String() != "morton" {
+		t.Error("packing strings wrong")
+	}
+}
+
+func eqIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

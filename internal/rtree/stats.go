@@ -1,0 +1,94 @@
+package rtree
+
+import "sort"
+
+// LevelStats summarizes one level of the tree for the cost model
+// (paper Table 3): the node count N_j and the average normalized extent
+// of node boxes per dimension, DP_{j,i}avg. Level 0 is the root.
+type LevelStats struct {
+	Nodes     int
+	AvgExtent []float64 // per dimension, fraction of the domain
+	// Supports holds the sorted max-support values of the level's nodes,
+	// enabling the SS-selectivity estimate "fraction of nodes whose
+	// subtree can beat a support threshold".
+	Supports []int32
+}
+
+// EntryStats summarizes the leaf entries: their count, average normalized
+// extents, and sorted global supports (for the supported-filter
+// selectivity and Lemma 4.2 estimates).
+type EntryStats struct {
+	Count     int
+	AvgExtent []float64
+	Supports  []int32
+}
+
+// Stats computes per-level and entry statistics. cards gives the domain
+// cardinality of each dimension used for extent normalization.
+func (t *Tree) Stats(cards []int) ([]LevelStats, EntryStats) {
+	h := t.Height()
+	levels := make([]LevelStats, h)
+	for i := range levels {
+		levels[i].AvgExtent = make([]float64, t.dims)
+	}
+	es := EntryStats{AvgExtent: make([]float64, t.dims)}
+
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		ls := &levels[depth]
+		ls.Nodes++
+		ls.Supports = append(ls.Supports, n.maxSupport)
+		if !n.box.IsEmpty() {
+			for d := 0; d < t.dims; d++ {
+				ls.AvgExtent[d] += norm(n.box.Extent(d), cards[d])
+			}
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				es.Count++
+				es.Supports = append(es.Supports, e.Support)
+				for d := 0; d < t.dims; d++ {
+					es.AvgExtent[d] += norm(e.Box.Extent(d), cards[d])
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 0)
+
+	for i := range levels {
+		if levels[i].Nodes > 0 {
+			for d := range levels[i].AvgExtent {
+				levels[i].AvgExtent[d] /= float64(levels[i].Nodes)
+			}
+		}
+		sort.Slice(levels[i].Supports, func(a, b int) bool { return levels[i].Supports[a] < levels[i].Supports[b] })
+	}
+	if es.Count > 0 {
+		for d := range es.AvgExtent {
+			es.AvgExtent[d] /= float64(es.Count)
+		}
+	}
+	sort.Slice(es.Supports, func(a, b int) bool { return es.Supports[a] < es.Supports[b] })
+	return levels, es
+}
+
+func norm(extent, card int) float64 {
+	if card <= 0 {
+		return 0
+	}
+	return float64(extent) / float64(card)
+}
+
+// FractionAtLeast returns the fraction of the sorted supports that are
+// >= minCount — the selectivity of a supported filter at that threshold.
+func FractionAtLeast(sorted []int32, minCount int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= int32(minCount) })
+	return float64(len(sorted)-i) / float64(len(sorted))
+}

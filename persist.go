@@ -1,0 +1,86 @@
+package colarm
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"colarm/internal/core"
+	"colarm/internal/cost"
+	"colarm/internal/mip"
+	"colarm/internal/plans"
+)
+
+// Save serializes the engine's MIP-index (dataset, closed frequent
+// itemsets, bounding boxes) to w. The offline mining phase is the
+// expensive part of Open; a saved index restores in milliseconds with
+// LoadEngine, so indexes can be built once and shipped to query-serving
+// processes — the preprocess-once-query-many contract made durable.
+func (e *Engine) Save(w io.Writer) error {
+	_, err := e.eng.Index.WriteTo(w)
+	return err
+}
+
+// SaveFile writes the index snapshot to a file.
+func (e *Engine) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadEngine restores an engine from a snapshot written by Save. opts
+// controls the runtime knobs only (calibration, check mode); the index
+// parameters (primary support, fanout, packing) come from the snapshot.
+func LoadEngine(r io.Reader, opts Options) (*Engine, error) {
+	idx, err := mip.ReadIndex(r)
+	if err != nil {
+		return nil, err
+	}
+	return engineFromIndex(idx, opts)
+}
+
+// LoadEngineFile restores an engine from a snapshot file.
+func LoadEngineFile(path string, opts Options) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadEngine(f, opts)
+}
+
+func engineFromIndex(idx *mip.Index, opts Options) (*Engine, error) {
+	units := cost.Units{}
+	if opts.Calibrate {
+		units = cost.MeasureUnits(idx.Dataset.NumRecords(), idx.Dataset.NumAttrs())
+	}
+	mode, err := checkModeOf(opts)
+	if err != nil {
+		return nil, err
+	}
+	ex := plans.NewExecutor(idx)
+	ex.Mode = mode
+	model := cost.NewModel(idx, units)
+	model.Mode = mode
+	eng := &core.Engine{Index: idx, Executor: ex, Model: model}
+	return &Engine{eng: eng, ds: &Dataset{rel: idx.Dataset}}, nil
+}
+
+func checkModeOf(opts Options) (plans.CheckMode, error) {
+	switch opts.CheckMode {
+	case "", "auto":
+		return plans.AutoCheck, nil
+	case "scan":
+		return plans.ScanCheck, nil
+	case "bitmap":
+		return plans.BitmapCheck, nil
+	default:
+		return 0, fmt.Errorf("colarm: unknown check mode %q (want auto, scan or bitmap)", opts.CheckMode)
+	}
+}

@@ -1,0 +1,94 @@
+package colarm
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	eng := salaryEngine(t)
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumPartitions() != eng.NumPartitions() {
+		t.Fatalf("partitions %d != %d", loaded.NumPartitions(), eng.NumPartitions())
+	}
+	// Identical query answers.
+	q := Query{
+		Range:          map[string][]string{"Location": {"Seattle"}, "Gender": {"F"}},
+		ItemAttributes: []string{"Age", "Salary"},
+		MinSupport:     0.70,
+		MinConfidence:  0.95,
+		Plan:           SSEUV,
+	}
+	a, err := eng.Mine(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Mine(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rules) != len(b.Rules) {
+		t.Fatalf("rules %d != %d after reload", len(a.Rules), len(b.Rules))
+	}
+	for i := range a.Rules {
+		if a.Rules[i].String() != b.Rules[i].String() {
+			t.Fatalf("rule %d differs after reload", i)
+		}
+	}
+	// The query language works on the restored engine too.
+	if _, err := loaded.MineQL(`REPORT LOCALIZED ASSOCIATION RULES FROM salary
+		HAVING minsupport = 0.45 AND minconfidence = 0.8`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	eng := salaryEngine(t)
+	path := filepath.Join(t.TempDir(), "salary.colarm")
+	if err := eng.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngineFile(path, Options{CheckMode: "scan"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumPartitions() != eng.NumPartitions() {
+		t.Error("partitions lost through file round trip")
+	}
+	if _, err := LoadEngineFile(filepath.Join(t.TempDir(), "missing"), Options{}); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestLoadEngineErrors(t *testing.T) {
+	if _, err := LoadEngine(strings.NewReader("junk"), Options{}); err == nil {
+		t.Error("junk stream must error")
+	}
+	eng := salaryEngine(t)
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEngine(&buf, Options{CheckMode: "bogus"}); err == nil {
+		t.Error("bogus check mode must error")
+	}
+}
+
+func TestOpenCheckModeValidation(t *testing.T) {
+	ds, _ := Salary()
+	if _, err := Open(ds, Options{PrimarySupport: 0.18, CheckMode: "bogus"}); err == nil {
+		t.Error("bogus check mode must error at Open")
+	}
+	if _, err := Open(ds, Options{PrimarySupport: 0.18, CheckMode: "scan"}); err != nil {
+		t.Errorf("scan mode: %v", err)
+	}
+}
