@@ -13,6 +13,16 @@
 //	-runs N       random focal subsets per scenario (default 3)
 //	-seed N       generator seed (default 1)
 //
+// Beyond the paper's artifacts, -concurrent runs the serving-mode
+// benchmark: a fixed query workload replayed from N client goroutines
+// against one shared engine, comparing the serial baseline against
+// intra-query parallelism (the Workers pool), inter-query concurrency
+// (many clients), and both, with throughput and p50/p99 latency:
+//
+//	-concurrent   run the concurrent-clients benchmark
+//	-clients N    client goroutines (default GOMAXPROCS)
+//	-queries N    queries per client in the N-client rows (default 8)
+//
 // Absolute times differ from the paper's C++/2010-era hardware numbers;
 // the reproduced quantities are the shapes: which plans win where, the
 // optimizer's accuracy, and the local-vs-global CFI structure.
@@ -23,6 +33,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"colarm/internal/bench"
@@ -30,22 +41,25 @@ import (
 
 func main() {
 	var (
-		fig   = flag.Int("fig", 0, "figure to regenerate (8-13)")
-		table = flag.String("table", "", `table to regenerate ("accuracy" or "simpson")`)
-		all   = flag.Bool("all", false, "run every experiment")
-		full  = flag.Bool("full", false, "paper-scale profile")
-		runs  = flag.Int("runs", 3, "random focal subsets per scenario")
-		seed  = flag.Int64("seed", 1, "dataset generator seed")
+		fig        = flag.Int("fig", 0, "figure to regenerate (8-13)")
+		table      = flag.String("table", "", `table to regenerate ("accuracy" or "simpson")`)
+		all        = flag.Bool("all", false, "run every experiment")
+		full       = flag.Bool("full", false, "paper-scale profile")
+		runs       = flag.Int("runs", 3, "random focal subsets per scenario")
+		seed       = flag.Int64("seed", 1, "dataset generator seed")
+		concurrent = flag.Bool("concurrent", false, "run the concurrent-clients serving benchmark")
+		clients    = flag.Int("clients", runtime.GOMAXPROCS(0), "client goroutines for -concurrent")
+		queries    = flag.Int("queries", 8, "queries per client for -concurrent")
 	)
 	flag.Parse()
-	if err := run(*fig, *table, *all, *full, *runs, *seed); err != nil {
+	if err := run(*fig, *table, *all, *full, *runs, *seed, *concurrent, *clients, *queries); err != nil {
 		fmt.Fprintln(os.Stderr, "colarm-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, table string, all, full bool, runs int, seed int64) error {
-	if fig == 0 && table == "" {
+func run(fig int, table string, all, full bool, runs int, seed int64, concurrent bool, clients, perClient int) error {
+	if fig == 0 && table == "" && !concurrent {
 		all = true
 	}
 	specs := bench.Specs(full, seed)
@@ -149,6 +163,23 @@ func run(fig int, table string, all, full bool, runs int, seed int64) error {
 			rng := rand.New(rand.NewSource(seed + 300))
 			rows := e.RunLocalVsGlobal(runs, rng)
 			bench.PrintFig13(os.Stdout, name, rows)
+		}
+	}
+
+	// Concurrent-clients serving benchmark.
+	if all || concurrent {
+		for _, name := range datasets {
+			e, err := env(name)
+			if err != nil {
+				return err
+			}
+			spec := e.Spec
+			rows, err := e.ConcurrencyMatrix(clients, perClient,
+				spec.MinSupps[0], spec.MinConfs[0], seed+400)
+			if err != nil {
+				return err
+			}
+			bench.PrintConcurrent(os.Stdout, name, rows)
 		}
 	}
 

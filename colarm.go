@@ -151,6 +151,12 @@ type Options struct {
 	// to the focal subset size, the paper's cost structure) or
 	// "bitmap" (proportional to the dataset size).
 	CheckMode string
+	// Workers bounds the goroutines a single query fans its parallel
+	// operator sections (ELIMINATE support checks, VERIFY rule
+	// generation) out to: 0 means one per logical CPU (GOMAXPROCS),
+	// 1 forces serial execution. Rules and statistics are identical
+	// for every setting; only wall-clock time changes.
+	Workers int
 }
 
 // Query is one localized mining request.
@@ -205,17 +211,32 @@ type PlanEstimate struct {
 	Qualified  float64 // estimated itemsets reaching rule generation
 }
 
-// Stats reports what one query execution did.
+// Stats reports what one query execution did, mirroring the executor's
+// operator-level counters so callers can see where a query's work went.
 type Stats struct {
 	Plan            Plan
 	SubsetSize      int
 	MinSupportCount int
+
+	// SEARCH / SUPPORTED-SEARCH.
+	RNodesVisited   int // R-tree nodes touched
+	REntriesChecked int // R-tree leaf entries tested
 	Candidates      int
 	Contained       int
 	PartialOverlap  int
-	SupportChecks   int
-	RulesEmitted    int
-	DurationNanos   int64
+
+	// ELIMINATE.
+	ItemFiltered  int // candidates dropped by the item-attribute filter
+	SupportChecks int // record-level tidset∩D^Q counts performed
+	Eliminated    int // candidates failing local minsupport
+	Qualified     int // itemsets reaching rule generation
+
+	// VERIFY.
+	OracleCalls  int // antecedent/consequent support lookups
+	OracleMisses int // lookups needing a fresh tidset intersection
+	RulesEmitted int
+
+	DurationNanos int64
 }
 
 // Result is the answer to a localized mining query.
@@ -241,7 +262,7 @@ func Open(ds *Dataset, opts Options) (*Engine, error) {
 	if opts.Packing == Morton {
 		packing = rtree.MortonPacking
 	}
-	mode, err := checkModeOf(opts)
+	mode, err := plans.ParseCheckMode(opts.CheckMode)
 	if err != nil {
 		return nil, err
 	}
@@ -251,6 +272,7 @@ func Open(ds *Dataset, opts Options) (*Engine, error) {
 		Packing:        packing,
 		CalibrateUnits: opts.Calibrate,
 		CheckMode:      mode,
+		Workers:        opts.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -282,13 +304,13 @@ func (e *Engine) Mine(q Query) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return e.wrap(res, nil), nil
+		return e.wrap(res), nil
 	}
 	res, ests, err := e.eng.Mine(pq)
 	if err != nil {
 		return nil, err
 	}
-	out := e.wrap(res, nil)
+	out := e.wrap(res)
 	for _, est := range ests {
 		out.Estimates = append(out.Estimates, PlanEstimate{
 			Plan:       planOf(est.Plan),
@@ -368,16 +390,23 @@ func (e *Engine) MineQL(src string) (*Result, error) {
 	return e.Mine(q)
 }
 
-func (e *Engine) wrap(res *plans.Result, _ error) *Result {
+func (e *Engine) wrap(res *plans.Result) *Result {
 	out := &Result{
 		Stats: Stats{
 			Plan:            planOf(res.Stats.Plan),
 			SubsetSize:      res.Stats.SubsetSize,
 			MinSupportCount: res.Stats.MinCount,
+			RNodesVisited:   res.Stats.RNodesVisited,
+			REntriesChecked: res.Stats.REntriesChecked,
 			Candidates:      res.Stats.Candidates,
 			Contained:       res.Stats.Contained,
 			PartialOverlap:  res.Stats.PartialOverlap,
+			ItemFiltered:    res.Stats.ItemFiltered,
 			SupportChecks:   res.Stats.SupportChecks,
+			Eliminated:      res.Stats.Eliminated,
+			Qualified:       res.Stats.Qualified,
+			OracleCalls:     res.Stats.OracleCalls,
+			OracleMisses:    res.Stats.OracleMisses,
 			RulesEmitted:    res.Stats.RulesEmitted,
 			DurationNanos:   res.Stats.Duration.Nanoseconds(),
 		},

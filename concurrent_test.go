@@ -1,0 +1,159 @@
+package colarm
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func openSalary(t testing.TB, opts Options) *Engine {
+	t.Helper()
+	ds, err := Salary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.PrimarySupport == 0 {
+		opts.PrimarySupport = 0.18
+	}
+	eng, err := Open(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestWorkersOptionEquivalence checks the public knob end to end: an
+// engine opened with Workers=1 and one with the full pool answer every
+// query identically, rules and statistics alike.
+func TestWorkersOptionEquivalence(t *testing.T) {
+	serial := openSalary(t, Options{Workers: 1})
+	parallel := openSalary(t, Options{Workers: runtime.GOMAXPROCS(0) + 2})
+	queries := []Query{
+		{MinSupport: 0.2, MinConfidence: 0.3},
+		{Range: map[string][]string{"Location": {"Seattle"}, "Gender": {"F"}},
+			ItemAttributes: []string{"Age", "Salary"},
+			MinSupport:     0.70, MinConfidence: 0.95},
+		{Range: map[string][]string{"Location": {"Boston"}},
+			MinSupport: 0.4, MinConfidence: 0.6, Plan: SSEUV},
+		{MinSupport: 0.45, MinConfidence: 0.8, Plan: ARM},
+	}
+	for qi, q := range queries {
+		want, err := serial.Mine(q)
+		if err != nil {
+			t.Fatalf("q%d serial: %v", qi, err)
+		}
+		got, err := parallel.Mine(q)
+		if err != nil {
+			t.Fatalf("q%d parallel: %v", qi, err)
+		}
+		if !reflect.DeepEqual(got.Rules, want.Rules) {
+			t.Errorf("q%d: rules diverge across Workers settings", qi)
+		}
+		ws, gs := want.Stats, got.Stats
+		ws.DurationNanos, gs.DurationNanos = 0, 0
+		if ws != gs {
+			t.Errorf("q%d: stats diverge\nserial:   %+v\nparallel: %+v", qi, ws, gs)
+		}
+	}
+}
+
+// TestStatsExposesExecutorCounters checks that the executor's operator
+// counters survive the trip through the public Stats instead of being
+// silently dropped.
+func TestStatsExposesExecutorCounters(t *testing.T) {
+	eng := openSalary(t, Options{})
+	res, err := eng.Mine(Query{MinSupport: 0.2, MinConfidence: 0.3, Plan: SEV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.RNodesVisited == 0 || st.REntriesChecked == 0 {
+		t.Errorf("R-tree counters not plumbed: %+v", st)
+	}
+	if st.Qualified == 0 || st.OracleCalls == 0 || st.OracleMisses == 0 {
+		t.Errorf("ELIMINATE/VERIFY counters not plumbed: %+v", st)
+	}
+	// A query with an item-attribute mask must surface filter drops.
+	res, err = eng.Mine(Query{
+		ItemAttributes: []string{"Age", "Salary"},
+		MinSupport:     0.2, MinConfidence: 0.3, Plan: SEV,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ItemFiltered == 0 {
+		t.Errorf("ItemFiltered not plumbed: %+v", res.Stats)
+	}
+}
+
+// TestEngineConcurrentMine exercises the documented concurrency
+// contract: one Engine serving Mine, MineQL and Explain from many
+// goroutines at once. Run under -race this is the regression net for
+// any shared-mutable-state slip in the executor, cost model or index.
+func TestEngineConcurrentMine(t *testing.T) {
+	eng := openSalary(t, Options{})
+	queries := []Query{
+		{MinSupport: 0.2, MinConfidence: 0.3},
+		{Range: map[string][]string{"Location": {"Seattle"}, "Gender": {"F"}},
+			ItemAttributes: []string{"Age", "Salary"},
+			MinSupport:     0.70, MinConfidence: 0.95},
+		{Range: map[string][]string{"Location": {"Boston"}}, MinSupport: 0.4,
+			MinConfidence: 0.6, Plan: SSVS},
+		{MinSupport: 0.45, MinConfidence: 0.8, Plan: ARM},
+	}
+	const ql = `REPORT LOCALIZED ASSOCIATION RULES FROM salary
+WHERE RANGE Location = (Seattle), Gender = (F)
+AND ITEM ATTRIBUTES Age, Salary
+HAVING minsupport = 70% AND minconfidence = 95%;`
+
+	want := make([]*Result, len(queries))
+	for i, q := range queries {
+		res, err := eng.Mine(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	goroutines := 4 * runtime.GOMAXPROCS(0)
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 4; it++ {
+				switch (g + it) % 3 {
+				case 0:
+					qi := (g + it) % len(queries)
+					res, err := eng.Mine(queries[qi])
+					if err != nil {
+						errs <- fmt.Errorf("goroutine %d Mine: %v", g, err)
+						return
+					}
+					if !reflect.DeepEqual(res.Rules, want[qi].Rules) {
+						errs <- fmt.Errorf("goroutine %d: q%d rules diverge under concurrency", g, qi)
+						return
+					}
+				case 1:
+					if _, err := eng.MineQL(ql); err != nil {
+						errs <- fmt.Errorf("goroutine %d MineQL: %v", g, err)
+						return
+					}
+				case 2:
+					if _, err := eng.Explain(queries[(g+it)%len(queries)]); err != nil {
+						errs <- fmt.Errorf("goroutine %d Explain: %v", g, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"colarm/internal/plans"
+)
+
+// ConcurrentResult summarizes one concurrent-clients run: a fixed
+// workload of localized mining queries replayed from `Clients`
+// goroutines against a shared engine, with the executor's intra-query
+// worker pool set to `Workers`. It is the serving-side measurement the
+// paper's per-query figures do not cover: throughput and tail latency
+// under the many-users regime COLARM targets.
+type ConcurrentResult struct {
+	Dataset string
+	Clients int
+	Workers int // executor Workers setting (0 = GOMAXPROCS)
+	Queries int // total queries executed
+
+	Wall       time.Duration
+	Throughput float64 // queries per second
+	P50        time.Duration
+	P99        time.Duration
+	Max        time.Duration
+}
+
+// RunConcurrentClients replays clients×perClient queries — pre-generated
+// serially from rng so every configuration sees the identical workload —
+// from `clients` goroutines against the shared engine, with the
+// executor's worker pool set to `workers`. Each query runs through the
+// cost-based optimizer exactly as a production caller would. Latencies
+// are recorded per query; the result reports wall-clock throughput and
+// the p50/p99/max latency of the run.
+func (e *Env) RunConcurrentClients(clients, perClient, workers int, minSupp, minConf float64, rng *rand.Rand) (ConcurrentResult, error) {
+	if clients < 1 || perClient < 1 {
+		return ConcurrentResult{}, fmt.Errorf("bench: clients (%d) and queries per client (%d) must be positive", clients, perClient)
+	}
+	total := clients * perClient
+	queries := make([]*plans.Query, total)
+	for i := range queries {
+		frac := e.Spec.DQFracs[i%len(e.Spec.DQFracs)]
+		queries[i] = e.QueryFor(e.RandomFocalSubset(rng, frac), minSupp, minConf)
+	}
+
+	prev := e.Engine.Executor.Workers
+	e.Engine.Executor.Workers = workers
+	defer func() { e.Engine.Executor.Workers = prev }()
+
+	// Untimed warm-up so the first configuration measured is not
+	// penalized for faulting in the index and allocator arenas.
+	if _, _, err := e.Engine.Mine(queries[0]); err != nil {
+		return ConcurrentResult{}, err
+	}
+
+	latencies := make([]time.Duration, total)
+	errors := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				i := cl*perClient + j
+				t0 := time.Now()
+				if _, _, err := e.Engine.Mine(queries[i]); err != nil {
+					errors[cl] = err
+					return
+				}
+				latencies[i] = time.Since(t0)
+			}
+		}(cl)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errors {
+		if err != nil {
+			return ConcurrentResult{}, err
+		}
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	return ConcurrentResult{
+		Dataset:    e.Spec.Name,
+		Clients:    clients,
+		Workers:    workers,
+		Queries:    total,
+		Wall:       wall,
+		Throughput: float64(total) / wall.Seconds(),
+		P50:        percentile(latencies, 50),
+		P99:        percentile(latencies, 99),
+		Max:        latencies[len(latencies)-1],
+	}, nil
+}
+
+// percentile returns the p-th percentile of sorted latencies
+// (nearest-rank method).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)*p + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	return sorted[i-1]
+}
+
+// ConcurrencyMatrix runs the standard serving-mode comparison for one
+// environment: a serial baseline (one client, one worker), intra-query
+// parallelism alone (one client, full worker pool), inter-query
+// concurrency alone (many clients, serial executor), and both combined.
+// perClient fixes the per-configuration query count so all rows replay
+// equally sized workloads; seed fixes the workload generator.
+func (e *Env) ConcurrencyMatrix(clients, perClient int, minSupp, minConf float64, seed int64) ([]ConcurrentResult, error) {
+	configs := []struct{ clients, workers int }{
+		{1, 1},
+		{1, 0},
+		{clients, 1},
+		{clients, 0},
+	}
+	var out []ConcurrentResult
+	for _, cfg := range configs {
+		// Fresh rng per row: identical workload for every configuration.
+		rng := rand.New(rand.NewSource(seed))
+		per := clients * perClient / cfg.clients // equal total per row
+		res, err := e.RunConcurrentClients(cfg.clients, per, cfg.workers, minSupp, minConf, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

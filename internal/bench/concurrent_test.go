@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRunConcurrentClients(t *testing.T) {
+	env := tinyEnv(t)
+	spec := env.Spec
+
+	if _, err := env.RunConcurrentClients(0, 4, 1, spec.MinSupps[0], spec.MinConfs[0], rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero clients must error")
+	}
+	if _, err := env.RunConcurrentClients(2, 0, 1, spec.MinSupps[0], spec.MinConfs[0], rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero queries per client must error")
+	}
+
+	prev := env.Engine.Executor.Workers
+	res, err := env.RunConcurrentClients(3, 2, 1, spec.MinSupps[0], spec.MinConfs[0], rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Engine.Executor.Workers != prev {
+		t.Errorf("Workers not restored: got %d want %d", env.Engine.Executor.Workers, prev)
+	}
+	if res.Queries != 6 || res.Clients != 3 || res.Workers != 1 {
+		t.Errorf("run shape wrong: %+v", res)
+	}
+	if res.Throughput <= 0 || res.Wall <= 0 {
+		t.Errorf("degenerate timing: %+v", res)
+	}
+	if res.P50 > res.P99 || res.P99 > res.Max {
+		t.Errorf("percentiles out of order: p50=%v p99=%v max=%v", res.P50, res.P99, res.Max)
+	}
+}
+
+func TestConcurrencyMatrixShape(t *testing.T) {
+	env := tinyEnv(t)
+	spec := env.Spec
+	clients := runtime.GOMAXPROCS(0)
+	if clients < 2 {
+		clients = 2
+	}
+	rows, err := env.ConcurrencyMatrix(clients, 2, spec.MinSupps[0], spec.MinConfs[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 configurations, got %d", len(rows))
+	}
+	total := rows[0].Queries
+	for i, r := range rows {
+		if r.Queries != total {
+			t.Errorf("row %d: unequal workload %d vs %d", i, r.Queries, total)
+		}
+	}
+	if rows[0].Clients != 1 || rows[0].Workers != 1 {
+		t.Errorf("first row must be the serial baseline: %+v", rows[0])
+	}
+	if rows[3].Clients != clients || rows[3].Workers != 0 {
+		t.Errorf("last row must combine clients and workers: %+v", rows[3])
+	}
+
+	var buf bytes.Buffer
+	PrintConcurrent(&buf, spec.Name, rows)
+	out := buf.String()
+	for _, want := range []string{"clients", "qps", "p99", "speedup", "ncpu"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintConcurrent output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -31,9 +31,20 @@ type Options struct {
 	// model; AutoCheck (default) picks the cheaper implementation per
 	// query.
 	CheckMode plans.CheckMode
+	// Workers bounds the goroutines one query fans its parallel
+	// operator sections out to: 0 means one per logical CPU, 1 forces
+	// serial execution. Results are identical for every setting.
+	Workers int
 }
 
 // Engine is a ready-to-query COLARM instance over one dataset.
+//
+// An Engine is safe for concurrent use: Mine, MineWith, Explain and
+// BuildQuery may be called from any number of goroutines. The index is
+// immutable after construction, the executor keeps all query state
+// per-call, and the cost model's statistics are precomputed; the only
+// unsynchronized state is the configuration on the exported fields,
+// which must not be mutated while queries are in flight.
 type Engine struct {
 	Index    *mip.Index
 	Executor *plans.Executor
@@ -57,6 +68,7 @@ func NewEngine(d *relation.Dataset, opts Options) (*Engine, error) {
 	}
 	ex := plans.NewExecutor(idx)
 	ex.Mode = opts.CheckMode
+	ex.Workers = opts.Workers
 	model := cost.NewModel(idx, units)
 	model.Mode = opts.CheckMode
 	return &Engine{

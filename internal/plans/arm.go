@@ -1,6 +1,8 @@
 package plans
 
 import (
+	"sync/atomic"
+
 	"colarm/internal/bitset"
 	"colarm/internal/charm"
 	"colarm/internal/itemset"
@@ -71,33 +73,44 @@ func (ex *Executor) runARM(q *Query) (*Result, error) {
 		return nil, err
 	}
 	c.st.ARMFrequentItemsets = len(mined.Closed)
-	c.st.Qualified = 0
 
 	// εAR step 2: rule generation. Local supports of rule antecedents
-	// resolve through the subset's own closure structure.
+	// resolve through the subset's own closure structure. The oracle is
+	// memoless (armTree lookups are cheap), so the per-itemset
+	// generation fans out across the query's workers with no shared
+	// mutable state beyond the tallied counters; per-itemset call and
+	// miss counts are deterministic, keeping the totals schedule-free.
 	armTree := ittree.Build(mined, sp.NumItems())
+	var tally counterTally
 	oracle := func(x itemset.Set) int {
-		c.st.OracleCalls++
+		atomic.AddInt64(&tally.oracleCalls, 1)
 		if s := armTree.GlobalSupport(x); s >= 0 {
 			return s
 		}
 		// Below the local threshold: count directly from the subset's
 		// vertical representation.
-		c.st.OracleMisses++
+		atomic.AddInt64(&tally.oracleMisses, 1)
 		acc := localTids[x[0]].Clone()
 		for _, it := range x[1:] {
 			acc.And(localTids[it])
 		}
 		return acc.Count()
 	}
-	var out []rules.Rule
+	quals := make([]*charm.ClosedSet, 0, len(mined.Closed))
 	for _, cl := range mined.Closed {
-		if len(cl.Items) < 2 {
-			continue
+		if len(cl.Items) >= 2 {
+			quals = append(quals, cl)
 		}
-		c.st.Qualified++
-		rs := rules.Generate(cl.Items, cl.Support, c.st.SubsetSize, q.MinConfidence,
-			oracle, rules.Options{MaxConsequent: q.MaxConsequent})
+	}
+	c.st.Qualified = len(quals)
+	per := make([][]rules.Rule, len(quals))
+	parallelFor(len(quals), c.workers, func(i int) {
+		per[i] = rules.Generate(quals[i].Items, quals[i].Support, c.st.SubsetSize,
+			q.MinConfidence, oracle, rules.Options{MaxConsequent: q.MaxConsequent})
+	})
+	tally.addTo(c.st)
+	var out []rules.Rule
+	for _, rs := range per {
 		out = append(out, rs...)
 	}
 	out = rules.Dedupe(out)

@@ -2,6 +2,8 @@ package plans
 
 import (
 	"fmt"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"colarm/internal/bitset"
@@ -56,10 +58,22 @@ func ParseCheckMode(s string) (CheckMode, error) {
 }
 
 // Executor runs mining plans against a MIP-index.
+//
+// An Executor is safe for concurrent use by multiple goroutines: Run
+// keeps all per-query state in a fresh context, and the index layers
+// (R-tree, IT-tree, tidsets) are immutable after Build. The exported
+// fields are configuration — set them before serving queries and do not
+// modify them while calls are in flight.
 type Executor struct {
 	Idx *mip.Index
 	// Mode selects the record-level support check implementation.
 	Mode CheckMode
+	// Workers bounds the goroutines one query fans its ELIMINATE
+	// support checks and VERIFY rule generation out to: 0 means one per
+	// logical CPU (GOMAXPROCS), 1 forces the serial path. Results —
+	// rules and operator counters alike — are identical for every
+	// worker count.
+	Workers int
 }
 
 // NewExecutor creates an executor over the given index.
@@ -92,11 +106,21 @@ func (ex *Executor) Run(kind Kind, q *Query) (*Result, error) {
 
 type unknownKindError Kind
 
-func (e unknownKindError) Error() string { return "plans: unknown plan kind" }
+func (e unknownKindError) Error() string {
+	name := Kind(e).String()
+	if strings.HasPrefix(name, "Kind(") {
+		// Out-of-range value with no printable name.
+		return fmt.Sprintf("plans: unknown plan kind %d", int(e))
+	}
+	return fmt.Sprintf("plans: unknown plan kind %d (%s)", int(e), name)
+}
 
 func errUnknownKind(k Kind) error { return unknownKindError(k) }
 
-// qctx carries the per-query state shared by the operators.
+// qctx carries the per-query state shared by the operators. One qctx
+// belongs to one Run call and is never shared across queries, so its
+// maps need no locking; the parallel operator sections only share the
+// immutable index state and write to disjoint, pre-indexed slots.
 type qctx struct {
 	ex       *Executor
 	q        *Query
@@ -104,11 +128,12 @@ type qctx struct {
 	dq       *bitset.Set // focal subset bitmap
 	dqIDs    []int       // focal subset record ids (ScanCheck path)
 	scan     bool        // resolved check mode for this query
+	workers  int         // resolved worker count for this query
 	minCount int
 	st       *Stats
 
 	// localSupp caches CFI id → local support count (record-level check
-	// memoization shared between ELIMINATE and VERIFY).
+	// memoization across ELIMINATE's candidate occurrences).
 	localSupp map[int]int
 }
 
@@ -121,6 +146,7 @@ func (ex *Executor) newCtx(q *Query) *qctx {
 		q:         q,
 		mask:      q.itemMask(ex.Idx.Space.NumAttrs()),
 		dq:        dq,
+		workers:   ex.workers(),
 		minCount:  minCount,
 		st:        &Stats{SubsetSize: size, MinCount: minCount},
 		localSupp: make(map[int]int),
@@ -189,19 +215,6 @@ func (c *qctx) search(supported bool) []candidate {
 	return out
 }
 
-// localSupport performs (or recalls) the record-level support check of
-// CFI id against D^Q — the expensive operation ELIMINATE exists to
-// batch and SS-E-U-V exists to avoid for contained MIPs.
-func (c *qctx) localSupport(id int32) int {
-	if s, ok := c.localSupp[int(id)]; ok {
-		return s
-	}
-	c.st.SupportChecks++
-	s := c.countLocal(c.ex.Idx.ITTree.Set(int(id)).Tids)
-	c.localSupp[int(id)] = s
-	return s
-}
-
 // qualified is a candidate rule body that passed the item-attribute
 // filter and the local minsupport check. body is the candidate itemset
 // projected onto the item attributes and normalized to its closure's
@@ -229,10 +242,24 @@ type qualified struct {
 // When containedShortcut is set (SS-E-U-V), MIPs whose bounding box is
 // contained in D^Q take their global support as the local one
 // (Lemma 4.5) without a record-level check.
+//
+// The operator runs in three phases so the expensive middle one can fan
+// out across the query's workers while the result stays byte-identical
+// to a serial run: (1) a serial classification pass — item-attribute
+// filtering, closure normalization, dedup — that schedules each CFI
+// needing a record-level check exactly once; (2) the record-level
+// support checks, executed in parallel into pre-indexed slots; (3) a
+// serial minsupport filter in candidate order.
 func (c *qctx) eliminate(cands []candidate, containedShortcut bool) []qualified {
 	idx := c.ex.Idx
 	seen := make(map[string]bool)
-	var out []qualified
+	type entry struct {
+		id   int32
+		body itemset.Set
+	}
+	entries := make([]entry, 0, len(cands))
+	var checkIDs []int32 // CFI ids needing a record-level check, first-need order
+	scheduled := make(map[int32]bool)
 	for _, cd := range cands {
 		full := idx.ITTree.Set(int(cd.id))
 		body, all := full.Items.RestrictedTo(idx.Space, c.mask)
@@ -268,32 +295,82 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) []qualified 
 			}
 			seen[k] = true
 		}
-		var local int
 		if containedShortcut && rel == itemset.Contained {
-			local = idx.ITTree.Set(int(cid)).Support
-			c.localSupp[int(cid)] = local
-		} else {
-			local = c.localSupport(cid)
+			// Lemma 4.5: contained box ⇒ every supporting record lies in
+			// D^Q, so the global support IS the local one. (A cid already
+			// scheduled for a check keeps the check; both produce the
+			// same value, so the counters stay order-faithful.)
+			c.localSupp[int(cid)] = idx.ITTree.Set(int(cid)).Support
+		} else if _, done := c.localSupp[int(cid)]; !done && !scheduled[cid] {
+			scheduled[cid] = true
+			checkIDs = append(checkIDs, cid)
 		}
+		entries = append(entries, entry{id: cid, body: body})
+	}
+
+	// Record-level checks, fanned out. Each distinct CFI is checked once
+	// (the serial path's memoization), so SupportChecks is identical for
+	// every worker count.
+	c.st.SupportChecks += len(checkIDs)
+	counts := make([]int, len(checkIDs))
+	parallelFor(len(checkIDs), c.workers, func(i int) {
+		counts[i] = c.countLocal(idx.ITTree.Set(int(checkIDs[i])).Tids)
+	})
+	for i, id := range checkIDs {
+		c.localSupp[int(id)] = counts[i]
+	}
+
+	// Minsupport filter, in candidate order.
+	var out []qualified
+	for _, e := range entries {
+		local := c.localSupp[int(e.id)]
 		if local < c.minCount {
 			c.st.Eliminated++
 			continue
 		}
-		out = append(out, qualified{id: cid, body: body, local: local})
+		out = append(out, qualified{id: e.id, body: e.body, local: local})
 	}
 	c.st.Qualified = len(out)
 	return out
 }
 
-// oracle returns the local-support oracle VERIFY hands to the rule
-// generator. The support of a rule part X within D^Q is counted
-// directly against the per-item tidsets — in scan mode, |D^Q| record
+// countItems is the record-level support check of an arbitrary itemset
+// within D^Q — the VERIFY oracle's compute step. The count runs
+// directly against the per-item tidsets: in scan mode, |D^Q| record
 // probes with at most C_X tidset tests each, which is exactly the
-// paper's COST(V) record-level term (Σ C_i · |D^Q|) — memoized per
-// itemset so repeated antecedents and singleton consequents are free.
+// paper's COST(V) record-level term (Σ C_i · |D^Q|); in bitmap mode, a
+// whole-bitmap intersection. Reads only immutable index state plus the
+// query's frozen dqIDs/dq, so it is safe from concurrent workers.
+func (c *qctx) countItems(x itemset.Set) int {
+	tidsets := c.ex.Idx.Tidsets
+	if c.scan {
+		s := 0
+		for _, id := range c.dqIDs {
+			hit := true
+			for _, it := range x {
+				if !tidsets[it].Contains(id) {
+					hit = false
+					break
+				}
+			}
+			if hit {
+				s++
+			}
+		}
+		return s
+	}
+	acc := bitset.Intersect(c.dq, tidsets[x[0]])
+	for _, it := range x[1:] {
+		acc.And(tidsets[it])
+	}
+	return acc.Count()
+}
+
+// oracle returns the serial local-support oracle VERIFY hands to the
+// rule generator, memoized per itemset so repeated antecedents and
+// singleton consequents are free.
 func (c *qctx) oracle() rules.SupportOracle {
 	cache := make(map[string]int)
-	tidsets := c.ex.Idx.Tidsets
 	return func(x itemset.Set) int {
 		c.st.OracleCalls++
 		if len(x) == 0 {
@@ -305,41 +382,60 @@ func (c *qctx) oracle() rules.SupportOracle {
 		}
 		c.st.OracleMisses++
 		c.st.SupportChecks++
-		var s int
-		if c.scan {
-			for _, id := range c.dqIDs {
-				hit := true
-				for _, it := range x {
-					if !tidsets[it].Contains(id) {
-						hit = false
-						break
-					}
-				}
-				if hit {
-					s++
-				}
-			}
-		} else {
-			acc := bitset.Intersect(c.dq, tidsets[x[0]])
-			for _, it := range x[1:] {
-				acc.And(tidsets[it])
-			}
-			s = acc.Count()
-		}
+		s := c.countItems(x)
 		cache[key] = s
 		return s
 	}
 }
 
+// sharedOracle is oracle's concurrent counterpart: the memo is sharded,
+// each shard computes under its lock so every distinct itemset key is
+// counted as exactly one miss/check — the same totals the serial memo
+// reports — and the counters accumulate in the tally for a
+// deterministic post-join fold into Stats.
+func (c *qctx) sharedOracle(cache *shardedCounts, t *counterTally) rules.SupportOracle {
+	return func(x itemset.Set) int {
+		atomic.AddInt64(&t.oracleCalls, 1)
+		if len(x) == 0 {
+			return -1
+		}
+		s, fresh := cache.get(x.Key(), func() int { return c.countItems(x) })
+		if fresh {
+			atomic.AddInt64(&t.oracleMisses, 1)
+			atomic.AddInt64(&t.supportChecks, 1)
+		}
+		return s
+	}
+}
+
 // verify is the VERIFY operator: rule generation plus minconfidence
-// checks for every qualified itemset.
+// checks for every qualified itemset. Itemsets are independent — the
+// only coupling is the oracle memo — so generation fans out across the
+// query's workers, each itemset's rules landing in its own slot; the
+// slots are concatenated in qualification order, making the output
+// (after the dedup that serial verify performs anyway) byte-identical
+// to a serial run.
 func (c *qctx) verify(quals []qualified) []rules.Rule {
-	oracle := c.oracle()
 	var out []rules.Rule
-	for _, ql := range quals {
-		rs := rules.Generate(ql.body, ql.local, c.st.SubsetSize, c.q.MinConfidence,
-			oracle, rules.Options{MaxConsequent: c.q.MaxConsequent})
-		out = append(out, rs...)
+	if c.workers <= 1 || len(quals) < 2 {
+		oracle := c.oracle()
+		for _, ql := range quals {
+			rs := rules.Generate(ql.body, ql.local, c.st.SubsetSize, c.q.MinConfidence,
+				oracle, rules.Options{MaxConsequent: c.q.MaxConsequent})
+			out = append(out, rs...)
+		}
+	} else {
+		var tally counterTally
+		oracle := c.sharedOracle(newShardedCounts(), &tally)
+		per := make([][]rules.Rule, len(quals))
+		parallelFor(len(quals), c.workers, func(i int) {
+			per[i] = rules.Generate(quals[i].body, quals[i].local, c.st.SubsetSize,
+				c.q.MinConfidence, oracle, rules.Options{MaxConsequent: c.q.MaxConsequent})
+		})
+		tally.addTo(c.st)
+		for _, rs := range per {
+			out = append(out, rs...)
+		}
 	}
 	out = rules.Dedupe(out)
 	c.st.RulesEmitted = len(out)

@@ -1,0 +1,211 @@
+package plans
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"colarm/internal/itemset"
+)
+
+func TestParallelForCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			hits := make([]int32, n)
+			var mu sync.Mutex
+			parallelFor(n, workers, func(i int) {
+				mu.Lock()
+				hits[i]++
+				mu.Unlock()
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForSerialIsInOrder(t *testing.T) {
+	var order []int
+	parallelFor(5, 1, func(i int) { order = append(order, i) })
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("serial order = %v", order)
+	}
+}
+
+func TestShardedCountsComputesEachKeyOnce(t *testing.T) {
+	sc := newShardedCounts()
+	const keys = 50
+	var computes [keys]int32
+	var freshTotal int32
+	var mu sync.Mutex
+	parallelFor(keys*16, runtime.GOMAXPROCS(0), func(i int) {
+		k := i % keys
+		v, fresh := sc.get(fmt.Sprintf("key-%03d", k), func() int {
+			mu.Lock()
+			computes[k]++
+			mu.Unlock()
+			return k * 7
+		})
+		if v != k*7 {
+			t.Errorf("key %d: got %d", k, v)
+		}
+		if fresh {
+			mu.Lock()
+			freshTotal++
+			mu.Unlock()
+		}
+	})
+	for k, c := range computes {
+		if c != 1 {
+			t.Errorf("key %d computed %d times, want exactly once", k, c)
+		}
+	}
+	if freshTotal != keys {
+		t.Errorf("fresh count = %d, want %d (one per distinct key)", freshTotal, keys)
+	}
+}
+
+func TestUnknownKindErrorMessage(t *testing.T) {
+	if _, err := NewExecutor(salaryIndex(t, 0.18)).Run(Kind(42), &Query{
+		Region:     itemset.NewRegion([]int{4, 6, 4, 2, 3, 4}),
+		MinSupport: 0.5, MinConfidence: 0.5,
+	}); err == nil || !strings.Contains(err.Error(), "42") {
+		t.Errorf("unknown-kind error must name the offending value, got %v", err)
+	}
+	// A kind with a printable name includes it alongside the value.
+	msg := unknownKindError(SSEUV).Error()
+	if !strings.Contains(msg, "4") || !strings.Contains(msg, "SS-E-U-V") {
+		t.Errorf("error for named kind = %q, want value and name", msg)
+	}
+	if msg := unknownKindError(99).Error(); !strings.Contains(msg, "99") {
+		t.Errorf("error for unnamed kind = %q, want the value", msg)
+	}
+}
+
+// equivQueries returns a workload covering the operator paths: full
+// domain, selective regions, item-attribute masks, and a threshold low
+// enough to exercise multi-level rule generation.
+func equivQueries(t *testing.T, idx interface {
+	RegionFromSelections(map[string][]string) (*itemset.Region, error)
+}, space *itemset.Space) []*Query {
+	t.Helper()
+	full := itemset.RegionFor(space)
+	seattle, err := idx.RegionFromSelections(map[string][]string{
+		"Location": {"Seattle"}, "Gender": {"F"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boston, err := idx.RegionFromSelections(map[string][]string{
+		"Location": {"Boston"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := make([]bool, space.NumAttrs())
+	mask[4], mask[5] = true, true // Age, Salary
+	return []*Query{
+		{Region: full, MinSupport: 0.45, MinConfidence: 0.8},
+		{Region: full, MinSupport: 0.2, MinConfidence: 0.3},
+		{Region: seattle, MinSupport: 0.70, MinConfidence: 0.95, ItemAttrs: mask},
+		{Region: boston, MinSupport: 0.4, MinConfidence: 0.6},
+		{Region: boston, MinSupport: 0.4, MinConfidence: 0.6, MaxConsequent: 1},
+	}
+}
+
+// TestSerialParallelEquivalence asserts the core determinism contract:
+// for every plan kind, every check mode and a workload of diverse
+// queries, the parallel path (Workers = GOMAXPROCS, floored at 4) emits
+// byte-identical rules and identical operator counters to the serial
+// path (Workers = 1).
+func TestSerialParallelEquivalence(t *testing.T) {
+	idx := salaryIndex(t, 0.18)
+	queries := equivQueries(t, idx, idx.Space)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	for _, mode := range []CheckMode{AutoCheck, ScanCheck, BitmapCheck} {
+		for _, k := range Kinds() {
+			for qi, q := range queries {
+				serial := &Executor{Idx: idx, Mode: mode, Workers: 1}
+				par := &Executor{Idx: idx, Mode: mode, Workers: workers}
+				want, err := serial.Run(k, q)
+				if err != nil {
+					t.Fatalf("%v/%v q%d serial: %v", mode, k, qi, err)
+				}
+				got, err := par.Run(k, q)
+				if err != nil {
+					t.Fatalf("%v/%v q%d parallel: %v", mode, k, qi, err)
+				}
+				if !reflect.DeepEqual(got.Rules, want.Rules) {
+					t.Errorf("%v/%v q%d: parallel rules diverge (%d vs %d rules)",
+						mode, k, qi, len(got.Rules), len(want.Rules))
+				}
+				ws, gs := want.Stats, got.Stats
+				ws.Duration, gs.Duration = 0, 0
+				if ws != gs {
+					t.Errorf("%v/%v q%d: stats diverge\nserial:   %+v\nparallel: %+v", mode, k, qi, ws, gs)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentRunSmoke hammers one shared Executor from many
+// goroutines — the scenario the race detector must bless — and checks
+// every goroutine observes the same answer.
+func TestConcurrentRunSmoke(t *testing.T) {
+	idx := salaryIndex(t, 0.18)
+	ex := NewExecutor(idx) // Workers = 0: nested per-query parallelism
+	queries := equivQueries(t, idx, idx.Space)
+
+	type answer struct {
+		k Kind
+		q int
+	}
+	want := map[answer]*Result{}
+	for _, k := range Kinds() {
+		for qi, q := range queries {
+			res, err := ex.Run(k, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[answer{k, qi}] = res
+		}
+	}
+
+	goroutines := 4 * runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 3; it++ {
+				k := Kinds()[(g+it)%len(Kinds())]
+				qi := (g * 7 / 3) % len(queries)
+				res, err := ex.Run(k, queries[qi])
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if !reflect.DeepEqual(res.Rules, want[answer{k, qi}].Rules) {
+					errs <- fmt.Errorf("goroutine %d: %v q%d rules diverge under concurrency", g, k, qi)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,7 +1,6 @@
 package colarm
 
 import (
-	"fmt"
 	"io"
 	"os"
 
@@ -60,27 +59,15 @@ func engineFromIndex(idx *mip.Index, opts Options) (*Engine, error) {
 	if opts.Calibrate {
 		units = cost.MeasureUnits(idx.Dataset.NumRecords(), idx.Dataset.NumAttrs())
 	}
-	mode, err := checkModeOf(opts)
+	mode, err := plans.ParseCheckMode(opts.CheckMode)
 	if err != nil {
 		return nil, err
 	}
 	ex := plans.NewExecutor(idx)
 	ex.Mode = mode
+	ex.Workers = opts.Workers
 	model := cost.NewModel(idx, units)
 	model.Mode = mode
 	eng := &core.Engine{Index: idx, Executor: ex, Model: model}
 	return &Engine{eng: eng, ds: &Dataset{rel: idx.Dataset}}, nil
-}
-
-func checkModeOf(opts Options) (plans.CheckMode, error) {
-	switch opts.CheckMode {
-	case "", "auto":
-		return plans.AutoCheck, nil
-	case "scan":
-		return plans.ScanCheck, nil
-	case "bitmap":
-		return plans.BitmapCheck, nil
-	default:
-		return 0, fmt.Errorf("colarm: unknown check mode %q (want auto, scan or bitmap)", opts.CheckMode)
-	}
 }
