@@ -282,3 +282,40 @@ func BenchmarkCheckMode(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMine measures the facade's end-to-end query path — the
+// observability hot path. The "plain" variant is the tracing-disabled
+// baseline the instrumentation must not slow down; "traced" shows the
+// per-query cost of span recording.
+func BenchmarkMine(b *testing.B) {
+	ds, err := Salary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := Open(ds, Options{PrimarySupport: 0.18})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := Query{
+		Range:          map[string][]string{"Location": {"Seattle"}, "Gender": {"F"}},
+		ItemAttributes: []string{"Age", "Salary"},
+		MinSupport:     0.70,
+		MinConfidence:  0.95,
+	}
+	for _, traced := range []bool{false, true} {
+		name := "plain"
+		if traced {
+			name = "traced"
+		}
+		b.Run(name, func(b *testing.B) {
+			bq := q
+			bq.Trace = traced
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Mine(bq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

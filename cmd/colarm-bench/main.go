@@ -23,6 +23,19 @@
 //	-clients N    client goroutines (default GOMAXPROCS)
 //	-queries N    queries per client in the N-client rows (default 8)
 //
+// Observability flags:
+//
+//	-metrics ADDR       serve engine metrics (Prometheus text format) at
+//	                    http://ADDR/metrics and the pprof profiles at
+//	                    http://ADDR/debug/pprof/ for the run's duration
+//	-accuracy-online    measure the optimizer's plan-choice accuracy the
+//	                    online way: trace random queries, re-execute all
+//	                    six plans per query, score the choice against the
+//	                    empirically cheapest plan (engine accuracy
+//	                    trackers, distinct from the §5.1 table's offline
+//	                    replay)
+//	-accuracy-queries N traced queries for -accuracy-online (default 120)
+//
 // Absolute times differ from the paper's C++/2010-era hardware numbers;
 // the reproduced quantities are the shapes: which plans win where, the
 // optimizer's accuracy, and the local-vs-global CFI structure.
@@ -32,11 +45,14 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"time"
 
 	"colarm/internal/bench"
+	"colarm/internal/obs"
 )
 
 func main() {
@@ -50,17 +66,40 @@ func main() {
 		concurrent = flag.Bool("concurrent", false, "run the concurrent-clients serving benchmark")
 		clients    = flag.Int("clients", runtime.GOMAXPROCS(0), "client goroutines for -concurrent")
 		queries    = flag.Int("queries", 8, "queries per client for -concurrent")
+		metrics    = flag.String("metrics", "", "serve /metrics and /debug/pprof/ at this address during the run")
+		accOnline  = flag.Bool("accuracy-online", false, "measure plan-choice accuracy via traced queries + all-plan replay")
+		accQueries = flag.Int("accuracy-queries", 120, "traced queries for -accuracy-online")
 	)
 	flag.Parse()
-	if err := run(*fig, *table, *all, *full, *runs, *seed, *concurrent, *clients, *queries); err != nil {
+	if err := run(*fig, *table, *all, *full, *runs, *seed, *concurrent, *clients, *queries,
+		*metrics, *accOnline, *accQueries); err != nil {
 		fmt.Fprintln(os.Stderr, "colarm-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, table string, all, full bool, runs int, seed int64, concurrent bool, clients, perClient int) error {
-	if fig == 0 && table == "" && !concurrent {
+func run(fig int, table string, all, full bool, runs int, seed int64, concurrent bool, clients, perClient int,
+	metricsAddr string, accOnline bool, accQueries int) error {
+	if fig == 0 && table == "" && !concurrent && !accOnline {
 		all = true
+	}
+	reg := obs.NewRegistry()
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Addr: metricsAddr, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "colarm-bench: metrics server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("serving metrics at http://%s/metrics (pprof at /debug/pprof/)\n", metricsAddr)
 	}
 	specs := bench.Specs(full, seed)
 	profile := "reduced"
@@ -79,7 +118,7 @@ func run(fig int, table string, all, full bool, runs int, seed int64, concurrent
 			return nil, err
 		}
 		start := time.Now()
-		e, err := bench.Setup(spec)
+		e, err := bench.SetupWith(spec, reg)
 		if err != nil {
 			return nil, err
 		}
@@ -151,6 +190,42 @@ func run(fig int, table string, all, full bool, runs int, seed int64, concurrent
 			results = append(results, res)
 		}
 		bench.PrintAccuracy(os.Stdout, results, 0.05)
+	}
+
+	// Online plan-choice accuracy: traced queries scored against
+	// ground-truth all-plan executions through the engines' running
+	// accuracy trackers.
+	if accOnline {
+		perDataset := (accQueries + len(datasets) - 1) / len(datasets)
+		fmt.Printf("\nOnline plan-choice accuracy (%d traced queries per dataset, 5%% regret tolerance):\n", perDataset)
+		totQ, totC := 0, 0
+		for _, name := range datasets {
+			e, err := env(name)
+			if err != nil {
+				return err
+			}
+			spec := e.Spec
+			rng := rand.New(rand.NewSource(seed + 500))
+			for n := 0; n < perDataset; n++ {
+				regn := e.RandomFocalSubset(rng, spec.DQFracs[n%len(spec.DQFracs)])
+				q := e.QueryFor(regn, spec.MinSupps[n%len(spec.MinSupps)], spec.MinConfs[n%len(spec.MinConfs)])
+				q.Trace = &obs.Trace{}
+				if _, _, err := e.Engine.Mine(q); err != nil {
+					return err
+				}
+				if _, err := e.Engine.EvaluatePlans(q); err != nil {
+					return err
+				}
+			}
+			rep := e.Engine.Accuracy.Report()
+			fmt.Printf("  %-10s %4d queries  accuracy %5.1f%%  (worst miss regret %.0f%%)\n",
+				name, rep.Queries, 100*rep.Accuracy(), 100*rep.MissRegretMax)
+			totQ += rep.Queries
+			totC += rep.Correct
+		}
+		if totQ > 0 {
+			fmt.Printf("  %-10s %4d queries  accuracy %5.1f%%\n", "overall", totQ, 100*float64(totC)/float64(totQ))
+		}
 	}
 
 	// Figure 13.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"colarm/internal/datagen"
 	"colarm/internal/relation"
@@ -37,6 +38,7 @@ func run(dataset string, seed int64, scale float64, out string) error {
 		d   *relation.Dataset
 		err error
 	)
+	start := time.Now()
 	switch dataset {
 	case "salary":
 		d = datagen.Salary()
@@ -61,6 +63,13 @@ func run(dataset string, seed int64, scale float64, out string) error {
 		defer f.Close()
 		w = f
 	}
-	fmt.Fprintf(os.Stderr, "%s: %d records, %d attributes\n", dataset, d.NumRecords(), d.NumAttrs())
-	return d.WriteCSV(w)
+	genTime := time.Since(start)
+	start = time.Now()
+	if err := d.WriteCSV(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d records, %d attributes (generated in %s, written in %s)\n",
+		dataset, d.NumRecords(), d.NumAttrs(),
+		genTime.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+	return nil
 }

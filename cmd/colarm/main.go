@@ -13,6 +13,7 @@
 //	                per-dataset for builtins, 0.1 for CSV)
 //	-query Q        run one query and exit (otherwise reads stdin)
 //	-explain        also print the optimizer's per-plan cost estimates
+//	-trace          print the per-operator execution trace of each query
 //	-measures       print lift/cosine/kulczynski for each rule
 //	-limit N        print at most N rules (default 25, 0 = all)
 //	-seed N         generator seed for builtin synthetic datasets
@@ -44,18 +45,27 @@ func main() {
 		primary  = flag.Float64("primary", 0, "primary support threshold (0 = per-dataset default)")
 		query    = flag.String("query", "", "run one query and exit")
 		explain  = flag.Bool("explain", false, "print per-plan cost estimates")
+		trace    = flag.Bool("trace", false, "print per-operator execution traces")
 		measures = flag.Bool("measures", false, "print extra interestingness measures")
 		limit    = flag.Int("limit", 25, "max rules to print (0 = all)")
 		seed     = flag.Int64("seed", 1, "generator seed for synthetic datasets")
 	)
 	flag.Parse()
-	if err := run(*dataset, *csvPath, *primary, *query, *explain, *measures, *limit, *seed); err != nil {
+	if err := run(*dataset, *csvPath, *primary, *query, opts{*explain, *trace, *measures, *limit}, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "colarm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, csvPath string, primary float64, query string, explain, measures bool, limit int, seed int64) error {
+// opts bundles the per-query output switches.
+type opts struct {
+	explain  bool
+	trace    bool
+	measures bool
+	limit    int
+}
+
+func run(dataset, csvPath string, primary float64, query string, o opts, seed int64) error {
 	ds, defPrimary, err := loadDataset(dataset, csvPath, seed)
 	if err != nil {
 		return err
@@ -72,9 +82,9 @@ func run(dataset, csvPath string, primary float64, query string, explain, measur
 	fmt.Fprintf(os.Stderr, "index ready: %d multidimensional itemset partitions\n", eng.NumPartitions())
 
 	if query != "" {
-		return execute(eng, query, explain, measures, limit)
+		return execute(eng, query, o)
 	}
-	return repl(eng, explain, measures, limit)
+	return repl(eng, o)
 }
 
 func loadDataset(dataset, csvPath string, seed int64) (*colarm.Dataset, float64, error) {
@@ -99,7 +109,7 @@ func loadDataset(dataset, csvPath string, seed int64) (*colarm.Dataset, float64,
 	}
 }
 
-func repl(eng *colarm.Engine, explain, measures bool, limit int) error {
+func repl(eng *colarm.Engine, o opts) error {
 	fmt.Fprintln(os.Stderr, `enter queries terminated by ';' ("\schema" lists attributes, "\q" quits)`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -127,7 +137,7 @@ func repl(eng *colarm.Engine, explain, measures bool, limit int) error {
 		if strings.Contains(line, ";") {
 			q := buf.String()
 			buf.Reset()
-			if err := execute(eng, q, explain, measures, limit); err != nil {
+			if err := execute(eng, q, o); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 		}
@@ -145,12 +155,13 @@ func printSchema(eng *colarm.Engine) {
 	}
 }
 
-func execute(eng *colarm.Engine, query string, explain, measures bool, limit int) error {
-	if explain {
-		// Re-parse via MineQL path by running with the optimizer and
-		// printing its estimates afterwards.
+func execute(eng *colarm.Engine, query string, o opts) error {
+	q, err := eng.ParseQuery(query)
+	if err != nil {
+		return err
 	}
-	res, err := eng.MineQL(query)
+	q.Trace = o.trace
+	res, err := eng.Mine(q)
 	if err != nil {
 		return err
 	}
@@ -158,7 +169,10 @@ func execute(eng *colarm.Engine, query string, explain, measures bool, limit int
 	fmt.Printf("plan %s | subset %d records | %d candidates (%d contained, %d partial) | %d rules | %.2fms\n",
 		st.Plan, st.SubsetSize, st.Candidates, st.Contained, st.PartialOverlap,
 		st.RulesEmitted, float64(st.DurationNanos)/1e6)
-	if explain && len(res.Estimates) > 0 {
+	if o.trace && res.Trace != nil {
+		fmt.Print(res.Trace.Tree())
+	}
+	if o.explain && len(res.Estimates) > 0 {
 		fmt.Println("optimizer estimates:")
 		ests := append([]colarm.PlanEstimate(nil), res.Estimates...)
 		sort.Slice(ests, func(i, j int) bool { return ests[i].Cost < ests[j].Cost })
@@ -168,12 +182,12 @@ func execute(eng *colarm.Engine, query string, explain, measures bool, limit int
 		}
 	}
 	for i, r := range res.Rules {
-		if limit > 0 && i >= limit {
-			fmt.Printf("  ... and %d more rules\n", len(res.Rules)-limit)
+		if o.limit > 0 && i >= o.limit {
+			fmt.Printf("  ... and %d more rules\n", len(res.Rules)-o.limit)
 			break
 		}
 		fmt.Printf("  %s", r)
-		if measures {
+		if o.measures {
 			fmt.Printf("  lift=%.2f cosine=%.2f kulc=%.2f", r.Lift, r.Cosine, r.Kulczynski)
 		}
 		fmt.Println()

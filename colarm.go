@@ -41,6 +41,7 @@ import (
 
 	"colarm/internal/colarmql"
 	"colarm/internal/core"
+	"colarm/internal/obs"
 	"colarm/internal/plans"
 	"colarm/internal/rtree"
 	"colarm/internal/rules"
@@ -157,6 +158,16 @@ type Options struct {
 	// 1 forces serial execution. Rules and statistics are identical
 	// for every setting; only wall-clock time changes.
 	Workers int
+	// TrackAccuracy makes every traced query (Query.Trace set)
+	// additionally execute all six plans untraced and score the
+	// optimizer's choice against the empirically cheapest plan,
+	// feeding the running figure AccuracyReport returns. Expect
+	// roughly 6x one query's cost per traced query.
+	TrackAccuracy bool
+	// AccuracyTolerance is the regret fraction under which a
+	// mispredicted plan choice still counts as correct; <= 0 selects
+	// the paper's 5% (§5.1 methodology).
+	AccuracyTolerance float64
 }
 
 // Query is one localized mining request.
@@ -177,6 +188,10 @@ type Query struct {
 	MaxConsequent int
 	// Plan forces a specific execution plan; Auto uses the optimizer.
 	Plan Plan
+	// Trace attaches a per-operator execution trace to the result
+	// (Result.Trace). Tracing adds a few timestamp reads and one small
+	// allocation per operator; untraced queries pay nothing.
+	Trace bool
 }
 
 // Rule is one localized association rule with its interestingness
@@ -244,12 +259,14 @@ type Result struct {
 	Rules     []Rule
 	Stats     Stats
 	Estimates []PlanEstimate // present when the optimizer ran (Plan == Auto)
+	Trace     *Trace         // present when the query requested tracing
 }
 
 // Engine is a ready-to-query COLARM instance over one dataset.
 type Engine struct {
-	eng *core.Engine
-	ds  *Dataset
+	eng           *core.Engine
+	ds            *Dataset
+	trackAccuracy bool
 }
 
 // Open runs the offline preprocessing phase over the dataset and
@@ -273,11 +290,12 @@ func Open(ds *Dataset, opts Options) (*Engine, error) {
 		CalibrateUnits: opts.Calibrate,
 		CheckMode:      mode,
 		Workers:        opts.Workers,
+		AccuracyTol:    opts.AccuracyTolerance,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{eng: eng, ds: ds}, nil
+	return &Engine{eng: eng, ds: ds, trackAccuracy: opts.TrackAccuracy}, nil
 }
 
 // NumPartitions returns the number of prestored multidimensional
@@ -299,25 +317,36 @@ func (e *Engine) Mine(q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if q.Trace {
+		pq.Trace = &obs.Trace{}
+	}
+	var out *Result
 	if q.Plan != Auto {
 		res, err := e.eng.MineWith(kindOf(q.Plan), pq)
 		if err != nil {
 			return nil, err
 		}
-		return e.wrap(res), nil
+		out = e.wrap(res)
+	} else {
+		res, ests, err := e.eng.Mine(pq)
+		if err != nil {
+			return nil, err
+		}
+		out = e.wrap(res)
+		for _, est := range ests {
+			out.Estimates = append(out.Estimates, PlanEstimate{
+				Plan:       planOf(est.Plan),
+				Cost:       est.Total,
+				Candidates: est.Candidates,
+				Qualified:  est.Qualified,
+			})
+		}
 	}
-	res, ests, err := e.eng.Mine(pq)
-	if err != nil {
-		return nil, err
-	}
-	out := e.wrap(res)
-	for _, est := range ests {
-		out.Estimates = append(out.Estimates, PlanEstimate{
-			Plan:       planOf(est.Plan),
-			Cost:       est.Total,
-			Candidates: est.Candidates,
-			Qualified:  est.Qualified,
-		})
+	out.Trace = newTrace(pq.Trace)
+	if q.Trace && e.trackAccuracy {
+		if _, err := e.eng.EvaluatePlans(pq); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -364,12 +393,23 @@ func (e *Engine) Explain(q Query) ([]PlanEstimate, error) {
 // The FROM clause must name this engine's dataset. An optional
 // "USING PLAN <name>" clause forces a plan.
 func (e *Engine) MineQL(src string) (*Result, error) {
-	st, err := colarmql.Parse(src)
+	q, err := e.ParseQuery(src)
 	if err != nil {
 		return nil, err
 	}
+	return e.Mine(q)
+}
+
+// ParseQuery parses a query-language statement (see MineQL) into a
+// Query without executing it, so callers can adjust fields the language
+// does not cover — Trace, MaxConsequent — before mining.
+func (e *Engine) ParseQuery(src string) (Query, error) {
+	st, err := colarmql.Parse(src)
+	if err != nil {
+		return Query{}, err
+	}
 	if !strings.EqualFold(st.Dataset, e.ds.rel.Name) {
-		return nil, fmt.Errorf("colarm: query targets dataset %q, engine holds %q", st.Dataset, e.ds.rel.Name)
+		return Query{}, fmt.Errorf("colarm: query targets dataset %q, engine holds %q", st.Dataset, e.ds.rel.Name)
 	}
 	q := Query{
 		Range:          map[string][]string{},
@@ -383,11 +423,11 @@ func (e *Engine) MineQL(src string) (*Result, error) {
 	if st.Plan != "" {
 		p, err := ParsePlan(st.Plan)
 		if err != nil {
-			return nil, err
+			return Query{}, err
 		}
 		q.Plan = p
 	}
-	return e.Mine(q)
+	return q, nil
 }
 
 func (e *Engine) wrap(res *plans.Result) *Result {

@@ -1,0 +1,357 @@
+package colarm
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"colarm/internal/bitset"
+	"colarm/internal/charm"
+	"colarm/internal/datagen"
+	"colarm/internal/itemset"
+	"colarm/internal/rules"
+)
+
+// TestDifferentialOracle checks every execution plan against an
+// independent from-scratch oracle on randomized small datasets, and
+// that parallel execution (Workers > 1) is byte-identical to serial.
+//
+// The oracle rebuilds both answer sets from first principles, sharing
+// no code with the executor beyond the raw tidsets and the brute-force
+// closed-itemset enumerator:
+//
+//   - MIP plans answer from the prestored closed frequent itemsets at
+//     the primary support: each is projected onto the item attributes,
+//     a proper projection is normalized to its global closure's
+//     projection, and the body qualifies when its local support inside
+//     the focal subset reaches the query threshold. (Dropping the
+//     R-tree overlap condition is sound: a body with nonzero local
+//     support always has an overlapping closure CFI that normalizes
+//     back to it.)
+//   - ARM answers from the closed frequent itemsets of the focal
+//     subset itself, with no primary-support floor.
+//
+// Rules then follow by exhaustive antecedent/consequent split
+// enumeration with exact local counting — valid because confidence is
+// anti-monotone in the consequent, which makes the executor's
+// level-wise pruning lossless.
+func TestDifferentialOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	totalRules := 0
+	for trial := 0; trial < 12; trial++ {
+		totalRules += runDifferentialTrial(t, rng, trial)
+	}
+	// Guard against a degenerate run where every comparison was of
+	// empty rule sets.
+	if totalRules == 0 {
+		t.Fatal("no trial produced any rules; the differential comparison is vacuous")
+	}
+}
+
+func runDifferentialTrial(t *testing.T, rng *rand.Rand, trial int) int {
+	t.Helper()
+	cfg := randomDiffConfig(rng, trial)
+	d, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatalf("trial %d: generate: %v", trial, err)
+	}
+	ds := &Dataset{rel: d}
+	primary := 0.15 + 0.2*rng.Float64()
+	eng1, err := Open(ds, Options{PrimarySupport: primary, Workers: 1})
+	if err != nil {
+		t.Fatalf("trial %d: open serial: %v", trial, err)
+	}
+	eng4, err := Open(ds, Options{PrimarySupport: primary, Workers: 4})
+	if err != nil {
+		t.Fatalf("trial %d: open parallel: %v", trial, err)
+	}
+
+	sp := itemset.NewSpace(d)
+	tids := itemset.ItemTidsets(d, sp)
+	m := d.NumRecords()
+
+	totalRules := 0
+	for qi := 0; qi < 2; qi++ {
+		q := randomDiffQuery(rng, ds)
+		label := fmt.Sprintf("trial %d query %d (%+v, primary %.3f)", trial, qi, q, primary)
+
+		// Focal subset membership, from raw record labels only.
+		restricted := make(map[int]map[string]bool)
+		for attr, vals := range q.Range {
+			ai := d.AttrIndex(attr)
+			set := make(map[string]bool, len(vals))
+			for _, v := range vals {
+				set[v] = true
+			}
+			restricted[ai] = set
+		}
+		dq := bitset.New(m)
+		for r := 0; r < m; r++ {
+			rec := ds.Record(r)
+			in := true
+			for ai, set := range restricted {
+				if !set[rec[ai]] {
+					in = false
+					break
+				}
+			}
+			if in {
+				dq.Add(r)
+			}
+		}
+		size := dq.Count()
+
+		mask := make([]bool, d.NumAttrs())
+		if len(q.ItemAttributes) == 0 {
+			for a := range mask {
+				mask[a] = true
+			}
+		} else {
+			for _, name := range q.ItemAttributes {
+				mask[d.AttrIndex(name)] = true
+			}
+		}
+		localCount := func(x itemset.Set) int {
+			acc := bitset.Intersect(dq, tids[x[0]])
+			for _, it := range x[1:] {
+				acc.And(tids[it])
+			}
+			return acc.Count()
+		}
+
+		var expMIP, expARM []Rule
+		if size > 0 {
+			minCount := charm.CountFor(q.MinSupport, size)
+			expMIP = wrapExpected(sp, oracleMIPRules(sp, tids, m, mask, primary, minCount, size,
+				q.MinConfidence, q.MaxConsequent, localCount))
+			expARM = wrapExpected(sp, oracleARMRules(sp, tids, dq, m, mask, minCount, size,
+				q.MinConfidence, q.MaxConsequent, localCount))
+		}
+
+		for _, plan := range []Plan{SEV, SVS, SSEV, SSVS, SSEUV, ARM, Auto} {
+			pq := q
+			pq.Plan = plan
+			res1, err := eng1.Mine(pq)
+			if err != nil {
+				t.Fatalf("%s: plan %s serial: %v", label, plan, err)
+			}
+			want := expMIP
+			if res1.Stats.Plan == ARM {
+				want = expARM
+			}
+			if !reflect.DeepEqual(res1.Rules, want) {
+				t.Fatalf("%s: plan %s: %d rules, oracle expects %d\ngot:  %v\nwant: %v",
+					label, plan, len(res1.Rules), len(want), res1.Rules, want)
+			}
+			res4, err := eng4.Mine(pq)
+			if err != nil {
+				t.Fatalf("%s: plan %s parallel: %v", label, plan, err)
+			}
+			if !reflect.DeepEqual(res4.Rules, res1.Rules) {
+				t.Fatalf("%s: plan %s: parallel rules differ from serial", label, plan)
+			}
+			s1, s4 := res1.Stats, res4.Stats
+			s1.DurationNanos, s4.DurationNanos = 0, 0
+			if s1 != s4 {
+				t.Fatalf("%s: plan %s: parallel stats differ from serial\nserial:   %+v\nparallel: %+v",
+					label, plan, s1, s4)
+			}
+			totalRules += len(res1.Rules)
+		}
+	}
+	return totalRules
+}
+
+// randomDiffConfig builds a small random generator configuration:
+// 40-120 records over 3-5 attributes of cardinality 2-4.
+func randomDiffConfig(rng *rand.Rand, trial int) datagen.Config {
+	nAttrs := 3 + rng.Intn(3)
+	nClusters := 2 + rng.Intn(2)
+	clusters := make([]float64, nClusters)
+	for i := range clusters {
+		clusters[i] = 1 / float64(nClusters)
+	}
+	attrs := make([]datagen.AttrSpec, nAttrs)
+	for a := range attrs {
+		align := make([]float64, nClusters)
+		for c := range align {
+			align[c] = 0.3 + 0.6*rng.Float64()
+		}
+		attrs[a] = datagen.AttrSpec{
+			Name:        fmt.Sprintf("a%d", a),
+			Cardinality: 2 + rng.Intn(3),
+			Align:       align,
+		}
+	}
+	return datagen.Config{
+		Name:     fmt.Sprintf("diff%d", trial),
+		Records:  40 + rng.Intn(81),
+		Attrs:    attrs,
+		Clusters: clusters,
+		Skew:     rng.Float64(),
+		Seed:     rng.Int63(),
+	}
+}
+
+// randomDiffQuery picks a random focal region, item-attribute set and
+// thresholds over the dataset's vocabulary.
+func randomDiffQuery(rng *rand.Rand, ds *Dataset) Query {
+	attrs := ds.Attributes()
+	q := Query{
+		Range:         map[string][]string{},
+		MinSupport:    0.2 + 0.4*rng.Float64(),
+		MinConfidence: 0.4 + 0.5*rng.Float64(),
+		MaxConsequent: rng.Intn(3),
+	}
+	for _, ai := range rng.Perm(len(attrs))[:rng.Intn(3)] {
+		vals, _ := ds.Values(attrs[ai])
+		keep := 1 + rng.Intn(len(vals))
+		perm := rng.Perm(len(vals))[:keep]
+		sel := make([]string, 0, keep)
+		for _, vi := range perm {
+			sel = append(sel, vals[vi])
+		}
+		q.Range[attrs[ai]] = sel
+	}
+	if rng.Intn(2) == 0 && len(attrs) > 2 {
+		n := 2 + rng.Intn(len(attrs)-1)
+		for _, ai := range rng.Perm(len(attrs))[:min(n, len(attrs))] {
+			q.ItemAttributes = append(q.ItemAttributes, attrs[ai])
+		}
+	}
+	return q
+}
+
+// oracleMIPRules derives the MIP-plan answer from scratch.
+func oracleMIPRules(sp *itemset.Space, tids []*bitset.Set, m int, mask []bool,
+	primary float64, minCount, size int, minConf float64, maxCons int,
+	localCount func(itemset.Set) int) []rules.Rule {
+	primaryCount := charm.CountFor(primary, m)
+	closure := func(b itemset.Set) itemset.Set {
+		tb := tids[b[0]].Clone()
+		for _, it := range b[1:] {
+			tb.And(tids[it])
+		}
+		var out itemset.Set
+		for it := 0; it < sp.NumItems(); it++ {
+			if tb.SubsetOf(tids[it]) {
+				out = append(out, itemset.Item(it))
+			}
+		}
+		return out
+	}
+	seen := make(map[string]bool)
+	var bodies []itemset.Set
+	for _, z := range charm.BruteForceClosed(tids, m, primaryCount) {
+		body, all := z.Items.RestrictedTo(sp, mask)
+		if len(body) < 2 {
+			continue
+		}
+		if !all {
+			body, _ = closure(body).RestrictedTo(sp, mask)
+			if len(body) < 2 {
+				continue
+			}
+		}
+		if k := body.Key(); !seen[k] {
+			seen[k] = true
+			bodies = append(bodies, body)
+		}
+	}
+	var out []rules.Rule
+	for _, body := range bodies {
+		if local := localCount(body); local >= minCount {
+			out = append(out, enumerateSplits(body, local, size, maxCons, minConf, localCount)...)
+		}
+	}
+	out = rules.Dedupe(out)
+	rules.SortCanonical(out)
+	return out
+}
+
+// oracleARMRules derives the from-scratch plan's answer independently.
+func oracleARMRules(sp *itemset.Space, tids []*bitset.Set, dq *bitset.Set, m int,
+	mask []bool, minCount, size int, minConf float64, maxCons int,
+	localCount func(itemset.Set) int) []rules.Rule {
+	localTids := make([]*bitset.Set, sp.NumItems())
+	for a := 0; a < sp.NumAttrs(); a++ {
+		if !mask[a] {
+			continue
+		}
+		for v := 0; v < sp.Cardinality(a); v++ {
+			it := sp.ItemOf(a, v)
+			localTids[it] = bitset.Intersect(dq, tids[it])
+		}
+	}
+	var out []rules.Rule
+	for _, cl := range charm.BruteForceClosed(localTids, m, minCount) {
+		if len(cl.Items) >= 2 {
+			out = append(out, enumerateSplits(cl.Items, cl.Support, size, maxCons, minConf, localCount)...)
+		}
+	}
+	out = rules.Dedupe(out)
+	rules.SortCanonical(out)
+	return out
+}
+
+// enumerateSplits emits every antecedent/consequent split of body whose
+// confidence reaches minConf, by exhaustive enumeration.
+func enumerateSplits(body itemset.Set, local, size, maxCons int, minConf float64,
+	localCount func(itemset.Set) int) []rules.Rule {
+	n := len(body)
+	capY := maxCons
+	if capY <= 0 || capY > n-1 {
+		capY = n - 1
+	}
+	var out []rules.Rule
+	for bits := 1; bits < 1<<n-1; bits++ {
+		var x, y itemset.Set
+		for i, it := range body {
+			if bits&(1<<i) != 0 {
+				y = append(y, it)
+			} else {
+				x = append(x, it)
+			}
+		}
+		if len(y) > capY {
+			continue
+		}
+		xc := localCount(x)
+		if xc <= 0 {
+			continue
+		}
+		conf := float64(local) / float64(xc)
+		if conf < minConf {
+			continue
+		}
+		out = append(out, rules.Rule{
+			Antecedent:      x,
+			Consequent:      y,
+			SupportCount:    local,
+			AntecedentCount: xc,
+			ConsequentCount: localCount(y),
+			SubsetSize:      size,
+			Support:         float64(local) / float64(size),
+			Confidence:      conf,
+		})
+	}
+	return out
+}
+
+// wrapExpected converts oracle rules to the facade representation the
+// engine returns.
+func wrapExpected(sp *itemset.Space, rs []rules.Rule) []Rule {
+	var out []Rule
+	for _, r := range rs {
+		out = append(out, wrapRule(r, sp.Labels(r.Antecedent), sp.Labels(r.Consequent)))
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,50 @@
+package colarm
+
+import (
+	"testing"
+)
+
+// FuzzMineQL drives the whole stack — parser, query building,
+// optimizer, executor — with arbitrary query-language input against the
+// paper's salary dataset. The engine must reject bad input with an
+// error, never panic, and every accepted query's rules must respect its
+// thresholds.
+func FuzzMineQL(f *testing.F) {
+	ds, err := Salary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	eng, err := Open(ds, Options{PrimarySupport: 0.18})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		`REPORT LOCALIZED ASSOCIATION RULES FROM salary WHERE RANGE Location = (Seattle), Gender = (F) AND ITEM ATTRIBUTES Age, Salary HAVING minsupport = 70% AND minconfidence = 95%;`,
+		`REPORT LOCALIZED ASSOCIATION RULES FROM salary HAVING minsupport = 20% AND minconfidence = 50%`,
+		`REPORT LOCALIZED ASSOCIATION RULES FROM salary WHERE RANGE Age = (30-40) HAVING minsupport = 0.3 AND minconfidence = 0 USING PLAN ARM;`,
+		`REPORT LOCALIZED ASSOCIATION RULES FROM salary WHERE RANGE Gender = (M, F) HAVING minsupport = 50% AND minconfidence = 80% USING PLAN S-E-V`,
+		`REPORT LOCALIZED ASSOCIATION RULES FROM other HAVING minsupport = 0.5 AND minconfidence = 0.5`,
+		`REPORT LOCALIZED ASSOCIATION RULES FROM salary WHERE RANGE Nope = (x) HAVING minsupport = 0.5 AND minconfidence = 0.5`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := eng.MineQL(src)
+		if err != nil {
+			return
+		}
+		q, err := eng.ParseQuery(src)
+		if err != nil {
+			t.Fatalf("MineQL accepted %q but ParseQuery rejects it: %v", src, err)
+		}
+		for _, r := range res.Rules {
+			if r.Confidence < q.MinConfidence {
+				t.Fatalf("rule %v violates minconfidence %v", r, q.MinConfidence)
+			}
+			if r.Support < q.MinSupport {
+				t.Fatalf("rule %v violates minsupport %v", r, q.MinSupport)
+			}
+		}
+	})
+}

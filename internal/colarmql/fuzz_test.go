@@ -1,0 +1,43 @@
+package colarmql
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse checks that the parser neither panics nor hangs on
+// arbitrary input, and that every statement it accepts survives a
+// render/re-parse round trip unchanged — the property the REPL and
+// tooling rely on when they echo queries back.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`REPORT LOCALIZED ASSOCIATION RULES FROM salary WHERE RANGE Location = (Seattle), Gender = (F) AND ITEM ATTRIBUTES Age, Salary HAVING minsupport = 70% AND minconfidence = 95%;`,
+		`REPORT LOCALIZED ASSOCIATION RULES FROM d HAVING minsupport = 0.5 AND minconfidence = 0.5`,
+		`REPORT LOCALIZED ASSOCIATION RULES FROM d HAVING minsupport = 0.5 AND minconfidence = 5`,
+		`REPORT LOCALIZED ASSOCIATION RULES FROM d WHERE RANGE a = ('v, 1', "w)x") HAVING minsupport = 1 AND minconfidence = 0 USING PLAN SS-E-U-V;`,
+		`REPORT LOCALIZED ASSOCIATION RULES FROM chess WHERE RANGE c00 = (v0, v1) HAVING minsupport = 90% AND minconfidence = 85% USING PLAN ARM`,
+		`RePoRt LoCaLiZeD aSsOcIaTiOn RuLeS fRoM d HaViNg MiNsUpPoRt = 0.5 aNd MiNcOnFiDeNcE = 0.5`,
+		`REPORT LOCALIZED ASSOCIATION RULES FROM d HAVING minsupport = 1e-05 AND minconfidence = .25`,
+		`REPORT LOCALIZED ASSOCIATION RULES FROM d AND ITEM ATTRIBUTES 'HAVING', x HAVING minsupport = 0.5 AND minconfidence = 0.5`,
+		`REPORT @ FROM d`,
+		`REPORT LOCALIZED ASSOCIATION RULES FROM d WHERE RANGE a = (b HAVING minsupport = 0.5 AND minconfidence = 0.5`,
+		"REPORT LOCALIZED ASSOCIATION RULES\nFROM 90K-120K\nHAVING minsupport = 0.70 AND minconfidence = 0.95;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := st.String()
+		st2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted input %q but rendering %q fails to re-parse: %v", src, rendered, err)
+		}
+		if !reflect.DeepEqual(st, st2) {
+			t.Fatalf("round trip changed statement:\ninput:    %q\nrendered: %q\nfirst:  %+v\nsecond: %+v", src, rendered, st, st2)
+		}
+	})
+}

@@ -15,8 +15,9 @@ package colarmql
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
-	"unicode"
 )
 
 type tokenKind int
@@ -127,20 +128,11 @@ func (l *lexer) lexWord() {
 	l.toks = append(l.toks, token{tokWord, l.src[start:l.pos], start})
 }
 
+// isNumeric reports whether a digit-initial run is a numeric literal.
+// Anything strconv.ParseFloat accepts qualifies — including exponent
+// forms like "1e-05", which Statement.String emits for small
+// thresholds via %g — except non-finite values, which stay words.
 func isNumeric(s string) bool {
-	dot := false
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		if c == '.' {
-			if dot {
-				return false
-			}
-			dot = true
-			continue
-		}
-		if !unicode.IsDigit(rune(c)) {
-			return false
-		}
-	}
-	return len(s) > 0 && s != "."
+	f, err := strconv.ParseFloat(s, 64)
+	return err == nil && !math.IsInf(f, 0) && !math.IsNaN(f)
 }

@@ -260,27 +260,71 @@ func (st *Statement) validate() error {
 	return nil
 }
 
-// String renders the statement back to query-language text.
+// reserved holds the language's keywords (lower-cased); rendered bare
+// they could terminate the clause they appear in, so String quotes
+// them when they occur as names or values.
+var reserved = map[string]bool{
+	"report": true, "localized": true, "association": true, "rules": true,
+	"from": true, "where": true, "range": true, "item": true,
+	"attributes": true, "having": true, "minsupport": true,
+	"minconfidence": true, "and": true, "using": true, "plan": true,
+}
+
+// quoteName renders an identifier or value so it lexes back to itself:
+// bare when every byte is a word byte and the word is not a keyword,
+// single-quoted (with \-escapes for the quote and backslash) otherwise.
+func quoteName(s string) string {
+	bare := s != "" && !reserved[strings.ToLower(s)]
+	for i := 0; bare && i < len(s); i++ {
+		if !isWordByte(s[i]) {
+			bare = false
+		}
+	}
+	if bare {
+		return s
+	}
+	var b strings.Builder
+	b.WriteByte('\'')
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == '\'' || c == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+	b.WriteByte('\'')
+	return b.String()
+}
+
+func quoteNames(vals []string) string {
+	quoted := make([]string, len(vals))
+	for i, v := range vals {
+		quoted[i] = quoteName(v)
+	}
+	return strings.Join(quoted, ", ")
+}
+
+// String renders the statement back to query-language text that parses
+// to an equivalent statement.
 func (st *Statement) String() string {
 	var b strings.Builder
 	b.WriteString("REPORT LOCALIZED ASSOCIATION RULES\nFROM ")
-	b.WriteString(st.Dataset)
+	b.WriteString(quoteName(st.Dataset))
 	if len(st.Range) > 0 {
 		b.WriteString("\nWHERE RANGE ")
 		for i, rc := range st.Range {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			fmt.Fprintf(&b, "%s = (%s)", rc.Attr, strings.Join(rc.Values, ", "))
+			fmt.Fprintf(&b, "%s = (%s)", quoteName(rc.Attr), quoteNames(rc.Values))
 		}
 	}
 	if len(st.ItemAttrs) > 0 {
 		b.WriteString("\nAND ITEM ATTRIBUTES ")
-		b.WriteString(strings.Join(st.ItemAttrs, ", "))
+		b.WriteString(quoteNames(st.ItemAttrs))
 	}
 	fmt.Fprintf(&b, "\nHAVING minsupport = %g AND minconfidence = %g", st.MinSupport, st.MinConfidence)
 	if st.Plan != "" {
-		fmt.Fprintf(&b, "\nUSING PLAN %s", st.Plan)
+		fmt.Fprintf(&b, "\nUSING PLAN %s", quoteName(st.Plan))
 	}
 	b.WriteString(";")
 	return b.String()

@@ -6,9 +6,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"colarm/internal/cost"
 	"colarm/internal/mip"
+	"colarm/internal/obs"
 	"colarm/internal/plans"
 	"colarm/internal/relation"
 	"colarm/internal/rtree"
@@ -35,6 +37,16 @@ type Options struct {
 	// operator sections out to: 0 means one per logical CPU, 1 forces
 	// serial execution. Results are identical for every setting.
 	Workers int
+	// Metrics, when non-nil, registers this engine's cumulative metrics
+	// in a shared registry; nil gives the engine a private one. All
+	// engine metrics are labeled with the dataset name, so engines
+	// sharing a registry stay distinguishable (and same-dataset engines
+	// aggregate).
+	Metrics *obs.Registry
+	// AccuracyTol is the regret fraction under which a mispredicted
+	// plan choice still counts as correct in the accuracy tracker;
+	// <= 0 selects the paper's 5% (§5.1 methodology).
+	AccuracyTol float64
 }
 
 // Engine is a ready-to-query COLARM instance over one dataset.
@@ -49,6 +61,22 @@ type Engine struct {
 	Index    *mip.Index
 	Executor *plans.Executor
 	Model    *cost.Model
+
+	// Metrics is the engine's cumulative metrics registry (counters and
+	// latency histograms, Prometheus-renderable). Recording is atomic;
+	// reading may happen concurrently with queries.
+	Metrics *obs.Registry
+	// Accuracy is the running plan-choice accuracy tracker fed by
+	// EvaluatePlans.
+	Accuracy *obs.AccuracyTracker
+
+	queries      *obs.Counter
+	queryErrors  *obs.Counter
+	rulesEmitted *obs.Counter
+	latency      *obs.Histogram
+	chosen       map[plans.Kind]*obs.Counter
+	evals        *obs.Counter
+	evalsCorrect *obs.Counter
 }
 
 // NewEngine runs the offline phase over the dataset and wires up the
@@ -71,11 +99,56 @@ func NewEngine(d *relation.Dataset, opts Options) (*Engine, error) {
 	ex.Workers = opts.Workers
 	model := cost.NewModel(idx, units)
 	model.Mode = opts.CheckMode
-	return &Engine{
+	e := &Engine{
 		Index:    idx,
 		Executor: ex,
 		Model:    model,
-	}, nil
+	}
+	e.InitObservability(d.Name, opts.Metrics, opts.AccuracyTol)
+	return e, nil
+}
+
+// InitObservability wires the engine's cumulative metrics and the
+// plan-choice accuracy tracker; NewEngine calls it, and callers that
+// assemble an Engine from parts (e.g. a deserialized index) must call
+// it before the first query. Every metric carries a dataset label so
+// engines sharing one registry aggregate per dataset.
+func (e *Engine) InitObservability(dataset string, reg *obs.Registry, accuracyTol float64) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e.Metrics = reg
+	e.Accuracy = obs.NewAccuracyTracker(accuracyTol)
+	labels := fmt.Sprintf("dataset=%q", dataset)
+	e.queries = reg.CounterWith("colarm_queries_total", labels,
+		"Localized mining queries served (including failed ones).")
+	e.queryErrors = reg.CounterWith("colarm_query_errors_total", labels,
+		"Localized mining queries that failed.")
+	e.rulesEmitted = reg.CounterWith("colarm_rules_emitted_total", labels,
+		"Rules emitted across all queries.")
+	e.latency = reg.Histogram("colarm_query_seconds", labels,
+		"End-to-end query execution latency.", nil)
+	e.chosen = make(map[plans.Kind]*obs.Counter, len(plans.Kinds()))
+	for _, k := range plans.Kinds() {
+		e.chosen[k] = reg.CounterWith("colarm_plan_chosen_total",
+			labels+`,plan="`+k.String()+`"`,
+			"Plans picked by the cost-based optimizer.")
+	}
+	e.evals = reg.CounterWith("colarm_plan_evaluations_total", labels,
+		"Plan choices scored against measured all-plan executions.")
+	e.evalsCorrect = reg.CounterWith("colarm_plan_choice_correct_total", labels,
+		"Scored plan choices that picked the empirically cheapest plan (within tolerance).")
+}
+
+// observe records one executed query in the cumulative metrics.
+func (e *Engine) observe(res *plans.Result, err error) {
+	e.queries.Inc()
+	if err != nil {
+		e.queryErrors.Inc()
+		return
+	}
+	e.rulesEmitted.Add(int64(res.Stats.RulesEmitted))
+	e.latency.Observe(res.Stats.Duration)
 }
 
 // Mine answers a localized mining query with the plan the COLARM
@@ -83,10 +156,14 @@ func NewEngine(d *relation.Dataset, opts Options) (*Engine, error) {
 // inspection.
 func (e *Engine) Mine(q *plans.Query) (*plans.Result, []cost.Estimate, error) {
 	if err := q.Validate(e.Index); err != nil {
+		e.queries.Inc()
+		e.queryErrors.Inc()
 		return nil, nil, err
 	}
 	kind, ests := e.Model.Choose(q)
+	e.chosen[kind].Inc()
 	res, err := e.Executor.Run(kind, q)
+	e.observe(res, err)
 	if err != nil {
 		return nil, ests, err
 	}
@@ -95,7 +172,67 @@ func (e *Engine) Mine(q *plans.Query) (*plans.Result, []cost.Estimate, error) {
 
 // MineWith bypasses the optimizer and executes a specific plan.
 func (e *Engine) MineWith(kind plans.Kind, q *plans.Query) (*plans.Result, error) {
-	return e.Executor.Run(kind, q)
+	res, err := e.Executor.Run(kind, q)
+	e.observe(res, err)
+	return res, err
+}
+
+// PlanMeasurement pairs one plan's predicted model cost with its
+// measured execution time for one query.
+type PlanMeasurement struct {
+	Plan      plans.Kind
+	Predicted float64 // model cost (nanosecond scale)
+	Measured  time.Duration
+}
+
+// ChoiceEvaluation scores the optimizer's decision for one query
+// against ground truth obtained by executing all six plans.
+type ChoiceEvaluation struct {
+	Chosen  plans.Kind // the optimizer's pick
+	Best    plans.Kind // the empirically cheapest plan
+	Regret  float64    // extra-cost fraction of Chosen over Best (0 on a hit)
+	Correct bool       // Chosen == Best, or Regret within the tracker tolerance
+	Plans   []PlanMeasurement
+}
+
+// EvaluatePlans replays the optimizer's decision for a query against
+// ground truth: it executes every plan, measures each one, scores the
+// choice against the empirically cheapest plan, and feeds the engine's
+// running Accuracy tracker — the paper's §5.1 predicted-vs-measured
+// study as an online measurement. The evaluation runs untraced so the
+// measured times are clean; expect roughly 6x one query's cost.
+func (e *Engine) EvaluatePlans(q *plans.Query) (*ChoiceEvaluation, error) {
+	if err := q.Validate(e.Index); err != nil {
+		return nil, err
+	}
+	qc := *q
+	qc.Trace = nil
+	kind, ests := e.Model.Choose(&qc)
+	ev := &ChoiceEvaluation{Chosen: kind}
+	var chosenT, bestT time.Duration
+	for _, est := range ests {
+		res, err := e.Executor.Run(est.Plan, &qc)
+		if err != nil {
+			return nil, err
+		}
+		d := res.Stats.Duration
+		ev.Plans = append(ev.Plans, PlanMeasurement{Plan: est.Plan, Predicted: est.Total, Measured: d})
+		if len(ev.Plans) == 1 || d < bestT {
+			bestT, ev.Best = d, est.Plan
+		}
+		if est.Plan == kind {
+			chosenT = d
+		}
+	}
+	if ev.Best != ev.Chosen && bestT > 0 {
+		ev.Regret = float64(chosenT-bestT) / float64(bestT)
+	}
+	ev.Correct = e.Accuracy.Record(ev.Best == ev.Chosen, ev.Regret)
+	e.evals.Inc()
+	if ev.Correct {
+		e.evalsCorrect.Inc()
+	}
+	return ev, nil
 }
 
 // Explain returns the optimizer's choice and per-plan estimates without

@@ -153,6 +153,36 @@ type Estimate struct {
 	Qualified  float64 // |{I^Q_E}|
 }
 
+// EstimateTerm is one named cost component of an estimate, labeled with
+// the operator the query trace records for it, so predicted and
+// measured per-operator costs line up.
+type EstimateTerm struct {
+	Operator string
+	Cost     float64
+}
+
+// Terms returns the estimate's cost components in pipeline order,
+// labeled with the trace's operator names. Zero-cost components are
+// included so the breakdown is positionally stable per plan.
+func (e Estimate) Terms() []EstimateTerm {
+	if e.Plan == plans.ARM {
+		return []EstimateTerm{
+			{Operator: "SELECT", Cost: e.Search},
+			{Operator: "ARM", Cost: e.Mine},
+			{Operator: "VERIFY", Cost: e.Verify},
+		}
+	}
+	search := "SEARCH"
+	if e.Plan == plans.SSEV || e.Plan == plans.SSVS || e.Plan == plans.SSEUV {
+		search = "SUPPORTED-SEARCH"
+	}
+	return []EstimateTerm{
+		{Operator: search, Cost: e.Search},
+		{Operator: "ELIMINATE", Cost: e.Eliminate},
+		{Operator: "VERIFY", Cost: e.Verify},
+	}
+}
+
 // Model evaluates the six plan estimates for queries against one index.
 type Model struct {
 	Idx *mip.Index
@@ -464,6 +494,13 @@ func (mo *Model) verifyCost(s queryShape, nQual float64, minConf float64) float6
 	missCost := mo.avgLen * 0.5 * mo.supportCheckCost(s) // some oracle misses
 	depth := 2 - minConf
 	return nQual * depth * (perLevel1 + missCost)
+}
+
+// EstimateKind computes the estimate of a single plan for a query —
+// the per-plan replay the plan-choice accuracy tracker compares against
+// measured execution times.
+func (mo *Model) EstimateKind(k plans.Kind, q *plans.Query) Estimate {
+	return mo.estimateOne(k, q, mo.shape(q))
 }
 
 // Estimate computes the six plan estimates for a query. The returned

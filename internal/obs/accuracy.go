@@ -1,0 +1,84 @@
+package obs
+
+import "sync"
+
+// AccuracyTracker maintains the running plan-choice accuracy figure:
+// for each evaluated query, whether the cost-based optimizer picked the
+// empirically cheapest plan, and by what fraction the chosen plan's
+// measured time exceeded the best plan's when it did not (the regret).
+// Mirroring the paper's §5.1 methodology, a miss whose regret stays
+// within the tolerance still counts as correct — plans within a few
+// percent of each other are an arbitrary coin flip to measure.
+type AccuracyTracker struct {
+	tol float64
+
+	mu            sync.Mutex
+	queries       int
+	correct       int
+	misses        int // queries where the chosen plan was not the argmin
+	missRegretSum float64
+	missRegretMax float64
+}
+
+// NewAccuracyTracker creates a tracker with the given regret tolerance;
+// tol <= 0 selects the paper's 5%.
+func NewAccuracyTracker(tol float64) *AccuracyTracker {
+	if tol <= 0 {
+		tol = 0.05
+	}
+	return &AccuracyTracker{tol: tol}
+}
+
+// Record scores one evaluated query: chosenIsBest reports whether the
+// optimizer's plan was the measured argmin, regret the extra-cost
+// fraction of the chosen plan over the best one (0 when chosenIsBest).
+// It returns whether the choice counts as correct under the tolerance.
+func (t *AccuracyTracker) Record(chosenIsBest bool, regret float64) bool {
+	correct := chosenIsBest || regret <= t.tol
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.queries++
+	if correct {
+		t.correct++
+	}
+	if !chosenIsBest {
+		t.misses++
+		t.missRegretSum += regret
+		if regret > t.missRegretMax {
+			t.missRegretMax = regret
+		}
+	}
+	return correct
+}
+
+// AccuracyReport is a snapshot of the tracker.
+type AccuracyReport struct {
+	Tolerance float64
+	Queries   int // evaluated queries
+	Correct   int // choices correct under the tolerance
+	// MissRegretMax and MissRegretAvg summarize the regret of the
+	// queries where the chosen plan was not the measured argmin
+	// (including tolerated near-ties).
+	MissRegretMax float64
+	MissRegretAvg float64
+}
+
+// Accuracy returns the fraction of correct choices (0 when nothing has
+// been evaluated yet).
+func (r AccuracyReport) Accuracy() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Queries)
+}
+
+// Report snapshots the tracker.
+func (t *AccuracyTracker) Report() AccuracyReport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := AccuracyReport{Tolerance: t.tol, Queries: t.queries, Correct: t.correct, MissRegretMax: t.missRegretMax}
+	if t.misses > 0 {
+		r.MissRegretAvg = t.missRegretSum / float64(t.misses)
+	}
+	return r
+}

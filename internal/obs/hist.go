@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBounds returns the standard latency bucket upper bounds
+// in seconds: 26 exponential buckets doubling from 1µs to ~33.5s,
+// bracketing everything from a sub-millisecond salary-scale query to a
+// paper-scale ARM run. Observations beyond the last bound land in the
+// implicit +Inf bucket.
+func DefaultLatencyBounds() []float64 {
+	out := make([]float64, 26)
+	b := 1e-6
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket histogram of durations. Observing costs
+// one binary search plus three atomic adds — no locks, no allocation —
+// so it is safe (and cheap) under any number of concurrent recorders.
+type Histogram struct {
+	name   string
+	labels string
+	help   string
+	bounds []float64 // upper bounds in seconds, ascending
+	// buckets[i] counts observations <= bounds[i] (non-cumulative);
+	// the extra last slot is the +Inf bucket.
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+func newHistogram(name, labels, help string, bounds []float64) *Histogram {
+	h := &Histogram{name: name, labels: labels, help: help}
+	h.bounds = append([]float64(nil), bounds...)
+	sort.Float64s(h.bounds)
+	h.buckets = make([]atomic.Int64, len(h.bounds)+1)
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	i := sort.SearchFloat64s(h.bounds, d.Seconds())
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Quantile estimates the q-th quantile (q in [0,1]) by linear
+// interpolation within the containing bucket — the usual fixed-bucket
+// estimate, accurate to the bucket resolution (a factor-2 grid here).
+// It returns 0 when nothing has been observed.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c > 0 && float64(cum+c) >= rank {
+			if i == len(h.bounds) {
+				// Off-scale observations: report the top finite bound
+				// rather than extrapolating into the unbounded bucket.
+				return time.Duration(h.bounds[len(h.bounds)-1] * float64(time.Second))
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			return time.Duration((lo + (hi-lo)*frac) * float64(time.Second))
+		}
+		cum += c
+	}
+	return time.Duration(h.bounds[len(h.bounds)-1] * float64(time.Second))
+}

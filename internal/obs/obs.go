@@ -1,0 +1,51 @@
+// Package obs is the engine's observability layer: per-query operator
+// traces, engine-level cumulative metrics (atomic counters and
+// fixed-bucket latency histograms with a Prometheus text exposition
+// writer), and the running plan-choice accuracy tracker that scores the
+// cost-based optimizer online against measured plan times — the
+// paper's §5.1 predicted-vs-measured study, maintained continuously.
+//
+// Everything on the metrics side is goroutine-safe and
+// allocation-conscious: counters and histogram buckets are single
+// atomic words, so recording from the executor's worker pool or from
+// concurrent Mine callers never takes a lock. A Trace, in contrast,
+// belongs to exactly one query execution and is recorded only from the
+// query's own goroutine; cross-query aggregates live in a Registry.
+package obs
+
+import "fmt"
+
+// Op identifies one mining operator in a query trace (the isolated
+// operators of paper Section 4 the six plans are pipelined from).
+type Op uint8
+
+const (
+	OpSearch Op = iota
+	OpSupportedSearch
+	OpEliminate
+	OpUnion
+	OpVerify
+	OpSelect
+	OpARM
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSearch:
+		return "SEARCH"
+	case OpSupportedSearch:
+		return "SUPPORTED-SEARCH"
+	case OpEliminate:
+		return "ELIMINATE"
+	case OpUnion:
+		return "UNION"
+	case OpVerify:
+		return "VERIFY"
+	case OpSelect:
+		return "SELECT"
+	case OpARM:
+		return "ARM"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a cumulative metric: a single atomic word, safe for any
+// number of concurrent incrementers.
+type Counter struct {
+	name   string // metric family name
+	labels string // rendered label pairs (`plan="S-E-V"`) or ""
+	help   string
+	v      atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Registry holds a process's (or engine's) metrics and renders them in
+// the Prometheus text exposition format. Registration is idempotent:
+// asking for an existing name+labels pair returns the existing metric,
+// so engines sharing a registry aggregate naturally (distinguish them
+// with labels). Registration takes the registry lock; recording on the
+// returned metrics never does.
+type Registry struct {
+	mu    sync.Mutex
+	order []any // *Counter | *Histogram, in registration order
+	byKey map[string]any
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]any)}
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterWith(name, "", help)
+}
+
+// CounterWith registers (or returns) a counter with rendered label
+// pairs, e.g. `dataset="chess",plan="S-E-V"`.
+func (r *Registry) CounterWith(name, labels, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := name + "{" + labels + "}"
+	if m, ok := r.byKey[key]; ok {
+		c, ok := m.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %s already registered as a different type", key))
+		}
+		return c
+	}
+	c := &Counter{name: name, labels: labels, help: help}
+	r.byKey[key] = c
+	r.order = append(r.order, c)
+	return c
+}
+
+// Histogram registers (or returns) a histogram with the given bucket
+// upper bounds in seconds (nil selects DefaultLatencyBounds).
+func (r *Registry) Histogram(name, labels, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := name + "{" + labels + "}"
+	if m, ok := r.byKey[key]; ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %s already registered as a different type", key))
+		}
+		return h
+	}
+	if bounds == nil {
+		bounds = DefaultLatencyBounds()
+	}
+	h := newHistogram(name, labels, help, bounds)
+	r.byKey[key] = h
+	r.order = append(r.order, h)
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), in registration order, with
+// HELP/TYPE headers emitted once per metric family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	order := append([]any(nil), r.order...)
+	r.mu.Unlock()
+
+	headered := make(map[string]bool)
+	header := func(name, help, typ string) error {
+		if headered[name] {
+			return nil
+		}
+		headered[name] = true
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		return err
+	}
+	for _, m := range order {
+		switch m := m.(type) {
+		case *Counter:
+			if err := header(m.name, m.help, "counter"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, renderLabels(m.labels, ""), m.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			if err := header(m.name, m.help, "histogram"); err != nil {
+				return err
+			}
+			cum := int64(0)
+			for i, b := range m.bounds {
+				cum += m.buckets[i].Load()
+				le := strconv.FormatFloat(b, 'g', -1, 64)
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, renderLabels(m.labels, `le="`+le+`"`), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, renderLabels(m.labels, `le="+Inf"`), m.Count()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", m.name, renderLabels(m.labels, ""), m.Sum().Seconds()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, renderLabels(m.labels, ""), m.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderLabels joins base label pairs with an extra pair into the
+// exposition's {...} block, or returns "" when both are empty.
+func renderLabels(base, extra string) string {
+	switch {
+	case base == "" && extra == "":
+		return ""
+	case base == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + base + "}"
+	default:
+		return "{" + base + "," + extra + "}"
+	}
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format — mount it on /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,12 +1,15 @@
 package plans
 
 import (
+	"fmt"
 	"sync/atomic"
+	"time"
 
 	"colarm/internal/bitset"
 	"colarm/internal/charm"
 	"colarm/internal/itemset"
 	"colarm/internal/ittree"
+	"colarm/internal/obs"
 	"colarm/internal/rules"
 )
 
@@ -36,6 +39,11 @@ func (ex *Executor) runARM(q *Query) (*Result, error) {
 	sp := idx.Space
 	m := d.NumRecords()
 	n := d.NumAttrs()
+	tr := q.Trace
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 
 	// SELECT (σ): one pass over the raw table building the vertical
 	// representation of the focal subset, restricted to the item
@@ -66,6 +74,12 @@ func (ex *Executor) runARM(q *Query) (*Result, error) {
 		}
 	}
 
+	if tr != nil {
+		tr.Record(obs.OpSelect, time.Since(t0), m, c.st.SubsetSize, 1,
+			fmt.Sprintf("scanned=%d", c.st.ARMRecordsScanned))
+		t0 = time.Now()
+	}
+
 	// εAR step 1: closed frequent itemset mining over the subset
 	// (CHARM, as in the paper).
 	mined, err := charm.MineTidsets(localTids, m, c.minCount)
@@ -81,6 +95,11 @@ func (ex *Executor) runARM(q *Query) (*Result, error) {
 	// mutable state beyond the tallied counters; per-itemset call and
 	// miss counts are deterministic, keeping the totals schedule-free.
 	armTree := ittree.Build(mined, sp.NumItems())
+	if tr != nil {
+		tr.Record(obs.OpARM, time.Since(t0), c.st.SubsetSize, len(mined.Closed), 1,
+			fmt.Sprintf("cfis=%d", len(mined.Closed)))
+		t0 = time.Now()
+	}
 	var tally counterTally
 	oracle := func(x itemset.Set) int {
 		atomic.AddInt64(&tally.oracleCalls, 1)
@@ -104,7 +123,7 @@ func (ex *Executor) runARM(q *Query) (*Result, error) {
 	}
 	c.st.Qualified = len(quals)
 	per := make([][]rules.Rule, len(quals))
-	parallelFor(len(quals), c.workers, func(i int) {
+	used := parallelFor(len(quals), c.workers, func(i int) {
 		per[i] = rules.Generate(quals[i].Items, quals[i].Support, c.st.SubsetSize,
 			q.MinConfidence, oracle, rules.Options{MaxConsequent: q.MaxConsequent})
 	})
@@ -115,5 +134,9 @@ func (ex *Executor) runARM(q *Query) (*Result, error) {
 	}
 	out = rules.Dedupe(out)
 	c.st.RulesEmitted = len(out)
+	if tr != nil {
+		tr.Record(obs.OpVerify, time.Since(t0), len(quals), len(out), used,
+			fmt.Sprintf("oracle=%d misses=%d", c.st.OracleCalls, c.st.OracleMisses))
+	}
 	return &Result{Rules: out, Stats: *c.st}, nil
 }

@@ -10,6 +10,7 @@ import (
 	"colarm/internal/charm"
 	"colarm/internal/itemset"
 	"colarm/internal/mip"
+	"colarm/internal/obs"
 	"colarm/internal/rtree"
 	"colarm/internal/rules"
 )
@@ -101,6 +102,10 @@ func (ex *Executor) Run(kind Kind, q *Query) (*Result, error) {
 	res.Stats.Plan = kind
 	res.Stats.Duration = time.Since(start)
 	rules.SortCanonical(res.Rules)
+	if q.Trace != nil {
+		q.Trace.Label = kind.String()
+		q.Trace.Total = res.Stats.Duration
+	}
 	return res, nil
 }
 
@@ -193,6 +198,11 @@ type candidate struct {
 // search runs the SEARCH (supported=false) or SUPPORTED-SEARCH
 // (supported=true) operator and classifies the overlapping MIPs.
 func (c *qctx) search(supported bool) []candidate {
+	tr := c.q.Trace
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	var out []candidate
 	visit := func(e rtree.Entry, rel itemset.Rel) bool {
 		out = append(out, candidate{id: e.ID, rel: rel})
@@ -212,6 +222,15 @@ func (c *qctx) search(supported bool) []candidate {
 	c.st.RNodesVisited += st.NodesVisited
 	c.st.REntriesChecked += st.EntriesChecked
 	c.st.Candidates = len(out)
+	if tr != nil {
+		op := obs.OpSearch
+		if supported {
+			op = obs.OpSupportedSearch
+		}
+		tr.Record(op, time.Since(t0), -1, len(out), 1,
+			fmt.Sprintf("nodes=%d entries=%d contained=%d partial=%d",
+				st.NodesVisited, st.EntriesChecked, c.st.Contained, c.st.PartialOverlap))
+	}
 	return out
 }
 
@@ -251,6 +270,12 @@ type qualified struct {
 // support checks, executed in parallel into pre-indexed slots; (3) a
 // serial minsupport filter in candidate order.
 func (c *qctx) eliminate(cands []candidate, containedShortcut bool) []qualified {
+	tr := c.q.Trace
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
+	shortcuts := 0 // contained MIPs resolved via Lemma 4.5, traced only
 	idx := c.ex.Idx
 	seen := make(map[string]bool)
 	type entry struct {
@@ -301,6 +326,7 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) []qualified 
 			// scheduled for a check keeps the check; both produce the
 			// same value, so the counters stay order-faithful.)
 			c.localSupp[int(cid)] = idx.ITTree.Set(int(cid)).Support
+			shortcuts++
 		} else if _, done := c.localSupp[int(cid)]; !done && !scheduled[cid] {
 			scheduled[cid] = true
 			checkIDs = append(checkIDs, cid)
@@ -313,11 +339,22 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) []qualified 
 	// every worker count.
 	c.st.SupportChecks += len(checkIDs)
 	counts := make([]int, len(checkIDs))
-	parallelFor(len(checkIDs), c.workers, func(i int) {
+	used := parallelFor(len(checkIDs), c.workers, func(i int) {
 		counts[i] = c.countLocal(idx.ITTree.Set(int(checkIDs[i])).Tids)
 	})
 	for i, id := range checkIDs {
 		c.localSupp[int(id)] = counts[i]
+	}
+
+	// For SS-E-U-V the minsupport filter below is the UNION operator:
+	// the stream of contained MIPs (resolved without a check) merges
+	// with the checked partially-overlapped survivors. Trace it as its
+	// own span there; otherwise it is part of ELIMINATE.
+	var t1 time.Time
+	if tr != nil && containedShortcut {
+		t1 = time.Now()
+		tr.Record(obs.OpEliminate, t1.Sub(t0), len(cands), len(entries), used,
+			fmt.Sprintf("filtered=%d checks=%d shortcut=%d", c.st.ItemFiltered, len(checkIDs), shortcuts))
 	}
 
 	// Minsupport filter, in candidate order.
@@ -331,6 +368,16 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) []qualified 
 		out = append(out, qualified{id: e.id, body: e.body, local: local})
 	}
 	c.st.Qualified = len(out)
+	if tr != nil {
+		if containedShortcut {
+			tr.Record(obs.OpUnion, time.Since(t1), len(entries), len(out), 1,
+				fmt.Sprintf("eliminated=%d", c.st.Eliminated))
+		} else {
+			tr.Record(obs.OpEliminate, time.Since(t0), len(cands), len(out), used,
+				fmt.Sprintf("filtered=%d checks=%d eliminated=%d",
+					c.st.ItemFiltered, len(checkIDs), c.st.Eliminated))
+		}
+	}
 	return out
 }
 
@@ -416,6 +463,13 @@ func (c *qctx) sharedOracle(cache *shardedCounts, t *counterTally) rules.Support
 // (after the dedup that serial verify performs anyway) byte-identical
 // to a serial run.
 func (c *qctx) verify(quals []qualified) []rules.Rule {
+	tr := c.q.Trace
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
+	oc0, om0 := c.st.OracleCalls, c.st.OracleMisses
+	used := 1
 	var out []rules.Rule
 	if c.workers <= 1 || len(quals) < 2 {
 		oracle := c.oracle()
@@ -428,7 +482,7 @@ func (c *qctx) verify(quals []qualified) []rules.Rule {
 		var tally counterTally
 		oracle := c.sharedOracle(newShardedCounts(), &tally)
 		per := make([][]rules.Rule, len(quals))
-		parallelFor(len(quals), c.workers, func(i int) {
+		used = parallelFor(len(quals), c.workers, func(i int) {
 			per[i] = rules.Generate(quals[i].body, quals[i].local, c.st.SubsetSize,
 				c.q.MinConfidence, oracle, rules.Options{MaxConsequent: c.q.MaxConsequent})
 		})
@@ -439,6 +493,10 @@ func (c *qctx) verify(quals []qualified) []rules.Rule {
 	}
 	out = rules.Dedupe(out)
 	c.st.RulesEmitted = len(out)
+	if tr != nil {
+		tr.Record(obs.OpVerify, time.Since(t0), len(quals), len(out), used,
+			fmt.Sprintf("oracle=%d misses=%d", c.st.OracleCalls-oc0, c.st.OracleMisses-om0))
+	}
 	return out
 }
 

@@ -33,7 +33,9 @@ import (
 // to the plain serial loop, in index order. Work is distributed
 // dynamically via an atomic cursor, so uneven item costs — common when
 // candidate tidsets differ wildly in density — cannot idle a worker.
-func parallelFor(n, workers int, fn func(i int)) {
+// It returns the number of goroutines actually used (1 for the serial
+// path), which query traces record as the operator's fan-out.
+func parallelFor(n, workers int, fn func(i int)) int {
 	if workers > n {
 		workers = n
 	}
@@ -41,7 +43,7 @@ func parallelFor(n, workers int, fn func(i int)) {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
-		return
+		return 1
 	}
 	var next int64
 	var wg sync.WaitGroup
@@ -59,6 +61,7 @@ func parallelFor(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return workers
 }
 
 // counterTally accumulates the Stats counters workers touch; the sums

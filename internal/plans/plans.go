@@ -28,10 +28,12 @@ package plans
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"colarm/internal/itemset"
 	"colarm/internal/mip"
+	"colarm/internal/obs"
 	"colarm/internal/rules"
 )
 
@@ -70,14 +72,39 @@ func (k Kind) String() string {
 	}
 }
 
-// ParseKind resolves a plan name (as printed by String) to its Kind.
+// ParseKind resolves a plan name to its Kind. Matching ignores case and
+// the "-"/"_" separators, so "S-E-V", "sev" and "SS_VS" all resolve.
 func ParseKind(s string) (Kind, error) {
-	for _, k := range Kinds() {
-		if k.String() == s {
-			return k, nil
+	want := normalizePlanName(s)
+	if want != "" {
+		for _, k := range Kinds() {
+			if normalizePlanName(k.String()) == want {
+				return k, nil
+			}
 		}
 	}
-	return 0, fmt.Errorf("plans: unknown plan %q", s)
+	names := make([]string, 0, int(numKinds))
+	for _, k := range Kinds() {
+		names = append(names, k.String())
+	}
+	return 0, fmt.Errorf("plans: unknown plan %q (valid plans: %s)", s, strings.Join(names, ", "))
+}
+
+// normalizePlanName strips the separators plan names are written with
+// and folds case, mapping every accepted spelling to one key.
+func normalizePlanName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '-' || c == '_':
+		case c >= 'a' && c <= 'z':
+			b.WriteByte(c - 'a' + 'A')
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
 }
 
 // Query is one localized mining request (paper Section 2.2).
@@ -93,6 +120,11 @@ type Query struct {
 	MinConfidence float64
 	// MaxConsequent caps rule consequent size (0 = unlimited).
 	MaxConsequent int
+	// Trace, when non-nil, receives one span per operator the plan
+	// executes, plus the plan label and total duration. A Trace belongs
+	// to one Run call — attach a fresh one per query. Nil (the default)
+	// keeps execution on the untraced fast path.
+	Trace *obs.Trace
 }
 
 // Validate checks the query parameters against an index.

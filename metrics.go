@@ -1,0 +1,59 @@
+package colarm
+
+import (
+	"io"
+	"net/http"
+)
+
+// WriteMetrics renders the engine's cumulative metrics — query and rule
+// counters, plan-choice counters, latency histograms, plan-choice
+// accuracy counters — in the Prometheus text exposition format.
+func (e *Engine) WriteMetrics(w io.Writer) error {
+	return e.eng.Metrics.WritePrometheus(w)
+}
+
+// MetricsHandler returns an http.Handler serving WriteMetrics, suitable
+// for mounting at /metrics.
+func (e *Engine) MetricsHandler() http.Handler {
+	return e.eng.Metrics.Handler()
+}
+
+// AccuracyReport summarizes the optimizer's running plan-choice
+// accuracy, fed by queries mined with Query.Trace set on an engine
+// opened with Options.TrackAccuracy (each such query re-executes all
+// six plans and compares the optimizer's pick against the empirically
+// cheapest one).
+type AccuracyReport struct {
+	// Tolerance is the regret fraction under which a mispredicted
+	// choice still counts as correct (the paper's §5.1 methodology
+	// uses 5%).
+	Tolerance float64
+	// Queries and Correct count the scored queries and the choices
+	// deemed correct.
+	Queries int
+	Correct int
+	// MissRegretMax and MissRegretAvg summarize the extra-cost
+	// fraction over the best plan across genuinely missed choices.
+	MissRegretMax float64
+	MissRegretAvg float64
+}
+
+// Accuracy returns Correct/Queries, or 0 with no scored queries.
+func (r AccuracyReport) Accuracy() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Queries)
+}
+
+// AccuracyReport returns the engine's running plan-choice accuracy.
+func (e *Engine) AccuracyReport() AccuracyReport {
+	rep := e.eng.Accuracy.Report()
+	return AccuracyReport{
+		Tolerance:     rep.Tolerance,
+		Queries:       rep.Queries,
+		Correct:       rep.Correct,
+		MissRegretMax: rep.MissRegretMax,
+		MissRegretAvg: rep.MissRegretAvg,
+	}
+}

@@ -69,5 +69,6 @@ func engineFromIndex(idx *mip.Index, opts Options) (*Engine, error) {
 	model := cost.NewModel(idx, units)
 	model.Mode = mode
 	eng := &core.Engine{Index: idx, Executor: ex, Model: model}
-	return &Engine{eng: eng, ds: &Dataset{rel: idx.Dataset}}, nil
+	eng.InitObservability(idx.Dataset.Name, nil, opts.AccuracyTolerance)
+	return &Engine{eng: eng, ds: &Dataset{rel: idx.Dataset}, trackAccuracy: opts.TrackAccuracy}, nil
 }
