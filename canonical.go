@@ -1,0 +1,96 @@
+package colarm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Canonical renders the query in a canonical string form: range
+// attributes sorted by name with their selections sorted and
+// deduplicated, item attributes sorted and deduplicated, thresholds
+// normalized to shortest-round-trip decimals, and the plan by name.
+// Two queries have equal canonical forms exactly when they request the
+// same mining computation, regardless of map iteration order, slice
+// order or duplicate selections — so the canonical form is the correct
+// cache key for query results. (Keying on the raw field values instead
+// is a subtle trap: two queries differing only in the order of their
+// item attributes would miss each other's cached results.) Trace is
+// excluded — tracing changes what is reported, not what is computed.
+func (q Query) Canonical() string {
+	var b strings.Builder
+	b.WriteString("range{")
+	attrs := make([]string, 0, len(q.Range))
+	for a := range q.Range {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q=(", a)
+		for j, v := range sortedUnique(q.Range[a]) {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%q", v)
+		}
+		b.WriteByte(')')
+	}
+	b.WriteString("}|items{")
+	for i, a := range sortedUnique(q.ItemAttributes) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q", a)
+	}
+	b.WriteString("}|minsupp=")
+	b.WriteString(strconv.FormatFloat(q.MinSupport, 'g', -1, 64))
+	b.WriteString("|minconf=")
+	b.WriteString(strconv.FormatFloat(q.MinConfidence, 'g', -1, 64))
+	b.WriteString("|maxcons=")
+	b.WriteString(strconv.Itoa(q.MaxConsequent))
+	b.WriteString("|plan=")
+	b.WriteString(q.Plan.String())
+	return b.String()
+}
+
+// sortedUnique returns a sorted copy of vs with duplicates removed.
+func sortedUnique(vs []string) []string {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := append([]string(nil), vs...)
+	sort.Strings(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[i-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Validate checks the dataset-independent query parameters — the
+// thresholds, the consequent cap and the plan — without an engine.
+// Failures wrap ErrBadThreshold or ErrUnknownPlan. Dataset-dependent
+// checks (attribute names, value labels) happen when the query reaches
+// an engine, wrapping ErrUnknownAttribute/ErrUnknownValue.
+func (q Query) Validate() error {
+	if q.MinSupport <= 0 || q.MinSupport > 1 {
+		return fmt.Errorf("colarm: %w: minsupport %v outside (0,1]", ErrBadThreshold, q.MinSupport)
+	}
+	if q.MinConfidence < 0 || q.MinConfidence > 1 {
+		return fmt.Errorf("colarm: %w: minconfidence %v outside [0,1]", ErrBadThreshold, q.MinConfidence)
+	}
+	if q.MaxConsequent < 0 {
+		return fmt.Errorf("colarm: %w: max consequent %d negative", ErrBadThreshold, q.MaxConsequent)
+	}
+	if q.Plan < Auto || q.Plan > ARM {
+		return fmt.Errorf("colarm: %w: plan value %d", ErrUnknownPlan, int(q.Plan))
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package colarm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCanonicalOrderInvariance(t *testing.T) {
+	base := Query{
+		Range:          map[string][]string{"Location": {"Seattle", "Boston"}, "Gender": {"F"}},
+		ItemAttributes: []string{"Age", "Salary"},
+		MinSupport:     0.70,
+		MinConfidence:  0.95,
+	}
+	variants := []Query{
+		{ // reversed item attributes
+			Range:          map[string][]string{"Location": {"Seattle", "Boston"}, "Gender": {"F"}},
+			ItemAttributes: []string{"Salary", "Age"},
+			MinSupport:     0.70,
+			MinConfidence:  0.95,
+		},
+		{ // reversed range selections, duplicated value
+			Range:          map[string][]string{"Gender": {"F", "F"}, "Location": {"Boston", "Seattle"}},
+			ItemAttributes: []string{"Age", "Salary", "Age"},
+			MinSupport:     0.70,
+			MinConfidence:  0.95,
+		},
+		{ // Trace is reporting, not computation
+			Range:          map[string][]string{"Location": {"Seattle", "Boston"}, "Gender": {"F"}},
+			ItemAttributes: []string{"Age", "Salary"},
+			MinSupport:     0.70,
+			MinConfidence:  0.95,
+			Trace:          true,
+		},
+	}
+	want := base.Canonical()
+	for i, v := range variants {
+		if got := v.Canonical(); got != want {
+			t.Errorf("variant %d canonical form differs:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+func TestCanonicalDistinguishes(t *testing.T) {
+	base := Query{
+		Range:         map[string][]string{"Location": {"Seattle"}},
+		MinSupport:    0.5,
+		MinConfidence: 0.5,
+	}
+	for name, other := range map[string]Query{
+		"range value": {Range: map[string][]string{"Location": {"Boston"}}, MinSupport: 0.5, MinConfidence: 0.5},
+		"minsupport":  {Range: map[string][]string{"Location": {"Seattle"}}, MinSupport: 0.6, MinConfidence: 0.5},
+		"minconf":     {Range: map[string][]string{"Location": {"Seattle"}}, MinSupport: 0.5, MinConfidence: 0.6},
+		"plan":        {Range: map[string][]string{"Location": {"Seattle"}}, MinSupport: 0.5, MinConfidence: 0.5, Plan: ARM},
+		"maxcons":     {Range: map[string][]string{"Location": {"Seattle"}}, MinSupport: 0.5, MinConfidence: 0.5, MaxConsequent: 2},
+		"items":       {Range: map[string][]string{"Location": {"Seattle"}}, ItemAttributes: []string{"Age"}, MinSupport: 0.5, MinConfidence: 0.5},
+	} {
+		if other.Canonical() == base.Canonical() {
+			t.Errorf("%s: distinct queries share a canonical form %q", name, base.Canonical())
+		}
+	}
+	// The form is self-describing enough to eyeball.
+	c := base.Canonical()
+	for _, frag := range []string{`"Location"=("Seattle")`, "minsupp=0.5", "plan=auto"} {
+		if !strings.Contains(c, frag) {
+			t.Errorf("canonical form %q missing %q", c, frag)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := Query{MinSupport: 0.5, MinConfidence: 0.5}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	cases := map[string]struct {
+		q    Query
+		want error
+	}{
+		"zero minsupport": {Query{MinSupport: 0, MinConfidence: 0.5}, ErrBadThreshold},
+		"minsupport > 1":  {Query{MinSupport: 1.5, MinConfidence: 0.5}, ErrBadThreshold},
+		"negative conf":   {Query{MinSupport: 0.5, MinConfidence: -0.1}, ErrBadThreshold},
+		"conf > 1":        {Query{MinSupport: 0.5, MinConfidence: 1.1}, ErrBadThreshold},
+		"negative cap":    {Query{MinSupport: 0.5, MinConfidence: 0.5, MaxConsequent: -1}, ErrBadThreshold},
+		"bogus plan":      {Query{MinSupport: 0.5, MinConfidence: 0.5, Plan: Plan(99)}, ErrUnknownPlan},
+	}
+	for name, tc := range cases {
+		err := tc.q.Validate()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", name, err, tc.want)
+		}
+	}
+}
+
+// TestTypedErrors pins the facade's error taxonomy: every rejection an
+// API caller can trigger is classifiable with errors.Is.
+func TestTypedErrors(t *testing.T) {
+	eng := salaryEngine(t)
+	cases := map[string]struct {
+		q    Query
+		want error
+	}{
+		"unknown range attribute": {
+			Query{Range: map[string][]string{"Nope": {"x"}}, MinSupport: 0.5, MinConfidence: 0.5},
+			ErrUnknownAttribute,
+		},
+		"unknown range value": {
+			Query{Range: map[string][]string{"Location": {"Atlantis"}}, MinSupport: 0.5, MinConfidence: 0.5},
+			ErrUnknownValue,
+		},
+		"unknown item attribute": {
+			Query{Range: map[string][]string{"Location": {"Seattle"}}, ItemAttributes: []string{"Nope"}, MinSupport: 0.5, MinConfidence: 0.5},
+			ErrUnknownAttribute,
+		},
+		"bad threshold": {
+			Query{Range: map[string][]string{"Location": {"Seattle"}}, MinSupport: 0, MinConfidence: 0.5},
+			ErrBadThreshold,
+		},
+	}
+	for name, tc := range cases {
+		_, err := eng.Mine(tc.q)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("Mine %s: err = %v, want errors.Is(%v)", name, err, tc.want)
+		}
+		_, err = eng.Explain(tc.q)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("Explain %s: err = %v, want errors.Is(%v)", name, err, tc.want)
+		}
+	}
+	if _, err := ParsePlan("X-Y-Z"); !errors.Is(err, ErrUnknownPlan) {
+		t.Errorf("ParsePlan: err = %v, want ErrUnknownPlan", err)
+	}
+}

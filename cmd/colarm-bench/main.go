@@ -42,12 +42,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
@@ -83,6 +85,10 @@ func run(fig int, table string, all, full bool, runs int, seed int64, concurrent
 	if fig == 0 && table == "" && !concurrent && !accOnline {
 		all = true
 	}
+	// Ctrl-C aborts the query mid-operator instead of waiting out a
+	// paper-scale mining run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	reg := obs.NewRegistry()
 	if metricsAddr != "" {
 		mux := http.NewServeMux()
@@ -210,7 +216,7 @@ func run(fig int, table string, all, full bool, runs int, seed int64, concurrent
 				regn := e.RandomFocalSubset(rng, spec.DQFracs[n%len(spec.DQFracs)])
 				q := e.QueryFor(regn, spec.MinSupps[n%len(spec.MinSupps)], spec.MinConfs[n%len(spec.MinConfs)])
 				q.Trace = &obs.Trace{}
-				if _, _, err := e.Engine.Mine(q); err != nil {
+				if _, _, err := e.Engine.MineContext(ctx, q); err != nil {
 					return err
 				}
 				if _, err := e.Engine.EvaluatePlans(q); err != nil {

@@ -1,0 +1,202 @@
+// Command colarm-serve is the COLARM query service: it builds (or
+// loads) MIP-indexes for a set of named datasets at startup, then
+// serves localized mining queries over HTTP with per-request deadlines,
+// admission control and a canonical-form result cache.
+//
+// Usage:
+//
+//	colarm-serve -datasets salary,chess [flags]
+//	colarm-serve -snapshot sales=/data/sales.idx -snapshot web=/data/web.idx
+//
+//	-addr ADDR        listen address (default :8080)
+//	-datasets LIST    comma-separated builtin datasets to build at
+//	                  startup: salary, chess, mushroom, pumsb
+//	-snapshot N=P     load the index snapshot at path P as dataset N
+//	                  (repeatable; written by Engine.SaveFile)
+//	-csv PATH         build an index over a headed CSV file (repeatable;
+//	                  dataset name = file base name)
+//	-primary P        primary support for -csv datasets (default 0.1;
+//	                  builtins use their per-dataset defaults)
+//	-seed N           generator seed for builtin synthetic datasets
+//	-workers N        per-query worker pool bound (0 = GOMAXPROCS)
+//	-calibrate        micro-benchmark the cost model's unit costs
+//	-max-inflight N   concurrent mining queries (default 8)
+//	-max-queue N      admission wait-queue length (default 32)
+//	-queue-wait D     max time in the admission queue (default 2s)
+//	-query-timeout D  per-query deadline (default 30s)
+//	-cache-entries N  result-cache capacity (default 4096, -1 disables)
+//	-cache-ttl D      result-cache entry lifetime (default 5m)
+//
+// Endpoints: POST /v1/mine, POST /v1/explain, GET /v1/datasets,
+// GET /metrics, GET /debug/pprof/. See the README's Serving section for
+// request examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"colarm"
+	"colarm/internal/server"
+)
+
+// listFlag collects a repeatable string flag.
+type listFlag []string
+
+func (f *listFlag) String() string     { return strings.Join(*f, ",") }
+func (f *listFlag) Set(v string) error { *f = append(*f, v); return nil }
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		datasets = flag.String("datasets", "", "comma-separated builtin datasets (salary, chess, mushroom, pumsb)")
+		primary  = flag.Float64("primary", 0.1, "primary support for -csv datasets")
+		seed     = flag.Int64("seed", 1, "generator seed for builtin synthetic datasets")
+		workers  = flag.Int("workers", 0, "per-query worker pool bound (0 = GOMAXPROCS)")
+		calib    = flag.Bool("calibrate", false, "micro-benchmark the cost model's unit costs")
+
+		maxInFlight  = flag.Int("max-inflight", 0, "concurrent mining queries (0 = default 8)")
+		maxQueue     = flag.Int("max-queue", 0, "admission wait-queue length (0 = default 32)")
+		queueWait    = flag.Duration("queue-wait", 0, "max time in the admission queue (0 = default 2s)")
+		queryTimeout = flag.Duration("query-timeout", 0, "per-query deadline (0 = default 30s, negative disables)")
+		cacheEntries = flag.Int("cache-entries", 0, "result-cache capacity (0 = default 4096, negative disables)")
+		cacheTTL     = flag.Duration("cache-ttl", 0, "result-cache entry lifetime (0 = default 5m)")
+	)
+	var snapshots, csvs listFlag
+	flag.Var(&snapshots, "snapshot", "name=path of an index snapshot to load (repeatable)")
+	flag.Var(&csvs, "csv", "headed CSV file to index (repeatable)")
+	flag.Parse()
+
+	if err := run(*addr, *datasets, snapshots, csvs, *primary, *seed, *workers, *calib, server.Config{
+		MaxInFlight:  *maxInFlight,
+		MaxQueue:     *maxQueue,
+		QueueWait:    *queueWait,
+		QueryTimeout: *queryTimeout,
+		CacheEntries: *cacheEntries,
+		CacheTTL:     *cacheTTL,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "colarm-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, datasets string, snapshots, csvs []string, primary float64, seed int64, workers int, calibrate bool, cfg server.Config) error {
+	metrics := colarm.NewMetricsRegistry()
+	opts := colarm.Options{Workers: workers, Calibrate: calibrate, Metrics: metrics}
+	reg := server.NewRegistry()
+	registered := 0
+
+	for _, name := range strings.Split(datasets, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		ds, defPrimary, err := builtinDataset(name, seed)
+		if err != nil {
+			return err
+		}
+		o := opts
+		o.PrimarySupport = defPrimary
+		if err := open(reg, ds, o); err != nil {
+			return fmt.Errorf("dataset %s: %w", name, err)
+		}
+		registered++
+	}
+	for _, spec := range snapshots {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -snapshot %q (want name=path)", spec)
+		}
+		start := time.Now()
+		eng, err := colarm.LoadEngineFile(path, opts)
+		if err != nil {
+			return fmt.Errorf("snapshot %s: %w", name, err)
+		}
+		if got := eng.Dataset().Name(); got != name {
+			return fmt.Errorf("snapshot %s: holds dataset %q", path, got)
+		}
+		reg.Register(eng)
+		fmt.Fprintf(os.Stderr, "loaded %q from %s: %d partitions in %s\n",
+			name, path, eng.NumPartitions(), time.Since(start).Round(time.Millisecond))
+		registered++
+	}
+	for _, path := range csvs {
+		ds, err := colarm.LoadCSV(path)
+		if err != nil {
+			return fmt.Errorf("csv %s: %w", path, err)
+		}
+		o := opts
+		o.PrimarySupport = primary
+		if err := open(reg, ds, o); err != nil {
+			return fmt.Errorf("csv %s: %w", filepath.Base(path), err)
+		}
+		registered++
+	}
+	if registered == 0 {
+		return fmt.Errorf("nothing to serve: pass -datasets, -snapshot or -csv")
+	}
+
+	cfg.EngineMetrics = metrics
+	srv := server.New(reg, cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serving %d dataset(s) on %s\n", registered, addr)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}
+
+func open(reg *server.Registry, ds *colarm.Dataset, opts colarm.Options) error {
+	start := time.Now()
+	eng, err := colarm.Open(ds, opts)
+	if err != nil {
+		return err
+	}
+	reg.Register(eng)
+	fmt.Fprintf(os.Stderr, "built %q (%d records, %d attributes): %d partitions in %s\n",
+		ds.Name(), ds.NumRecords(), ds.NumAttributes(), eng.NumPartitions(),
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func builtinDataset(name string, seed int64) (*colarm.Dataset, float64, error) {
+	switch name {
+	case "salary":
+		ds, err := colarm.Salary()
+		return ds, 0.18, err
+	case "chess":
+		ds, err := colarm.GenerateChess(seed)
+		return ds, 0.60, err
+	case "mushroom":
+		ds, err := colarm.GenerateMushroom(seed)
+		return ds, 0.05, err
+	case "pumsb":
+		ds, err := colarm.GeneratePUMSB(seed)
+		return ds, 0.80, err
+	default:
+		return nil, 0, fmt.Errorf("unknown builtin dataset %q", name)
+	}
+}

@@ -29,9 +29,12 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -82,7 +85,7 @@ func run(dataset, csvPath string, primary float64, query string, o opts, seed in
 	fmt.Fprintf(os.Stderr, "index ready: %d multidimensional itemset partitions\n", eng.NumPartitions())
 
 	if query != "" {
-		return execute(eng, query, o)
+		return execute(context.Background(), eng, query, o)
 	}
 	return repl(eng, o)
 }
@@ -137,7 +140,7 @@ func repl(eng *colarm.Engine, o opts) error {
 		if strings.Contains(line, ";") {
 			q := buf.String()
 			buf.Reset()
-			if err := execute(eng, q, o); err != nil {
+			if err := execute(context.Background(), eng, q, o); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 		}
@@ -155,13 +158,20 @@ func printSchema(eng *colarm.Engine) {
 	}
 }
 
-func execute(eng *colarm.Engine, query string, o opts) error {
+func execute(ctx context.Context, eng *colarm.Engine, query string, o opts) error {
 	q, err := eng.ParseQuery(query)
 	if err != nil {
 		return err
 	}
 	q.Trace = o.trace
-	res, err := eng.Mine(q)
+	// Ctrl-C aborts the running query (mid-operator, via the engine's
+	// context checks) without killing an interactive session.
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+	res, err := eng.MineContext(ctx, q)
+	if errors.Is(err, context.Canceled) {
+		return fmt.Errorf("query interrupted")
+	}
 	if err != nil {
 		return err
 	}

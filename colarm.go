@@ -36,6 +36,7 @@
 package colarm
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -168,6 +169,12 @@ type Options struct {
 	// mispredicted plan choice still counts as correct; <= 0 selects
 	// the paper's 5% (§5.1 methodology).
 	AccuracyTolerance float64
+	// Metrics, when non-nil, registers this engine's cumulative metrics
+	// in a shared registry instead of a private one. Every engine
+	// metric carries a dataset label, so engines over different
+	// datasets stay distinguishable in one exposition — the serving
+	// layer opens all its engines against a single shared registry.
+	Metrics *MetricsRegistry
 }
 
 // Query is one localized mining request.
@@ -291,6 +298,7 @@ func Open(ds *Dataset, opts Options) (*Engine, error) {
 		CheckMode:      mode,
 		Workers:        opts.Workers,
 		AccuracyTol:    opts.AccuracyTolerance,
+		Metrics:        opts.Metrics.registry(),
 	})
 	if err != nil {
 		return nil, err
@@ -305,15 +313,30 @@ func (e *Engine) NumPartitions() int { return e.eng.Index.NumMIPs() }
 // Dataset returns the engine's dataset.
 func (e *Engine) Dataset() *Dataset { return e.ds }
 
-// Mine answers a localized mining query.
-func (e *Engine) Mine(q Query) (*Result, error) {
-	pq, err := e.eng.BuildQuery(&core.QuerySpec{
+// buildQuery resolves the public query against the engine's dataset
+// vocabulary into an executable plans.Query.
+func (e *Engine) buildQuery(q Query) (*plans.Query, error) {
+	return e.eng.BuildQuery(&core.QuerySpec{
 		Range:         q.Range,
 		ItemAttrs:     q.ItemAttributes,
 		MinSupport:    q.MinSupport,
 		MinConfidence: q.MinConfidence,
 		MaxConsequent: q.MaxConsequent,
 	})
+}
+
+// Mine answers a localized mining query.
+func (e *Engine) Mine(q Query) (*Result, error) {
+	return e.MineContext(context.Background(), q)
+}
+
+// MineContext is Mine under a context: a cancelled or timed-out context
+// aborts the query inside the executing operators — including the ARM
+// plan's from-scratch CHARM run — and returns ctx.Err() (context.Canceled
+// or context.DeadlineExceeded) instead of running to completion. An
+// aborted query produces no partial result.
+func (e *Engine) MineContext(ctx context.Context, q Query) (*Result, error) {
+	pq, err := e.buildQuery(q)
 	if err != nil {
 		return nil, err
 	}
@@ -322,13 +345,13 @@ func (e *Engine) Mine(q Query) (*Result, error) {
 	}
 	var out *Result
 	if q.Plan != Auto {
-		res, err := e.eng.MineWith(kindOf(q.Plan), pq)
+		res, err := e.eng.MineWithContext(ctx, kindOf(q.Plan), pq)
 		if err != nil {
 			return nil, err
 		}
 		out = e.wrap(res)
 	} else {
-		res, ests, err := e.eng.Mine(pq)
+		res, ests, err := e.eng.MineContext(ctx, pq)
 		if err != nil {
 			return nil, err
 		}
@@ -355,17 +378,18 @@ func (e *Engine) Mine(q Query) (*Result, error) {
 // without executing it. The first estimate in the returned slice is not
 // necessarily the chosen one; the minimum cost wins.
 func (e *Engine) Explain(q Query) ([]PlanEstimate, error) {
-	pq, err := e.eng.BuildQuery(&core.QuerySpec{
-		Range:         q.Range,
-		ItemAttrs:     q.ItemAttributes,
-		MinSupport:    q.MinSupport,
-		MinConfidence: q.MinConfidence,
-		MaxConsequent: q.MaxConsequent,
-	})
+	return e.ExplainContext(context.Background(), q)
+}
+
+// ExplainContext is Explain under a context; estimation is cheap, so
+// the context is only consulted at entry (an expired deadline fails
+// fast, matching MineContext).
+func (e *Engine) ExplainContext(ctx context.Context, q Query) ([]PlanEstimate, error) {
+	pq, err := e.buildQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	_, ests, err := e.eng.Explain(pq)
+	_, ests, err := e.eng.ExplainContext(ctx, pq)
 	if err != nil {
 		return nil, err
 	}
@@ -393,11 +417,16 @@ func (e *Engine) Explain(q Query) ([]PlanEstimate, error) {
 // The FROM clause must name this engine's dataset. An optional
 // "USING PLAN <name>" clause forces a plan.
 func (e *Engine) MineQL(src string) (*Result, error) {
+	return e.MineQLContext(context.Background(), src)
+}
+
+// MineQLContext is MineQL under a context (see MineContext).
+func (e *Engine) MineQLContext(ctx context.Context, src string) (*Result, error) {
 	q, err := e.ParseQuery(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.Mine(q)
+	return e.MineContext(ctx, q)
 }
 
 // ParseQuery parses a query-language statement (see MineQL) into a

@@ -1,0 +1,23 @@
+package colarm
+
+import "colarm/internal/qerr"
+
+// Sentinel errors classifying query validation failures. Every
+// rejection of a malformed Query — from Mine, Explain, MineQL,
+// ParsePlan, Query.Validate or Open — wraps exactly one of these, so
+// callers distinguish caller mistakes from engine faults with
+// errors.Is: the HTTP serving layer maps these four to 400 Bad Request
+// and anything else to 500.
+var (
+	// ErrUnknownAttribute marks a Range key or ItemAttributes entry
+	// absent from the dataset schema.
+	ErrUnknownAttribute = qerr.ErrUnknownAttribute
+	// ErrUnknownValue marks a Range selection label absent from its
+	// attribute's value dictionary.
+	ErrUnknownValue = qerr.ErrUnknownValue
+	// ErrBadThreshold marks MinSupport outside (0,1], MinConfidence
+	// outside [0,1], or a negative MaxConsequent.
+	ErrBadThreshold = qerr.ErrBadThreshold
+	// ErrUnknownPlan marks an unresolvable plan name or Plan value.
+	ErrUnknownPlan = qerr.ErrUnknownPlan
+)

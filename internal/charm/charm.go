@@ -6,6 +6,7 @@
 package charm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -63,10 +64,18 @@ func CountFor(minSupport float64, numRecords int) int {
 // tidset is nil are skipped, which lets callers mine a restricted item
 // universe (the ARM plan restricts to the query's item attributes).
 func MineTidsets(tidsets []*bitset.Set, numRecords, minCount int) (*Result, error) {
+	return MineTidsetsContext(context.Background(), tidsets, numRecords, minCount)
+}
+
+// MineTidsetsContext is MineTidsets under a context: CHARM-EXTEND polls
+// the context between branch explorations, so a cancelled or timed-out
+// context aborts the (potentially exponential) enumeration promptly and
+// returns ctx.Err() instead of a result.
+func MineTidsetsContext(ctx context.Context, tidsets []*bitset.Set, numRecords, minCount int) (*Result, error) {
 	if minCount < 1 {
 		return nil, fmt.Errorf("charm: minimum support count %d < 1", minCount)
 	}
-	m := &miner{minCount: minCount, byHash: make(map[uint64][]*ClosedSet)}
+	m := &miner{minCount: minCount, byHash: make(map[uint64][]*ClosedSet), ctx: ctx, done: ctx.Done()}
 
 	var roots []*node
 	for it, tids := range tidsets {
@@ -81,7 +90,9 @@ func MineTidsets(tidsets []*bitset.Set, numRecords, minCount int) (*Result, erro
 		}
 	}
 	sortNodes(roots)
-	m.extend(roots)
+	if err := m.extend(roots); err != nil {
+		return nil, err
+	}
 
 	sort.Slice(m.closed, func(i, j int) bool {
 		a, b := m.closed[i].Items, m.closed[j].Items
@@ -107,6 +118,28 @@ type miner struct {
 	minCount int
 	closed   []*ClosedSet
 	byHash   map[uint64][]*ClosedSet
+
+	ctx   context.Context
+	done  <-chan struct{} // ctx.Done(), nil for Background
+	polls int
+}
+
+// cancelled polls the miner's context every few probes; nil done (a
+// Background context) keeps the enumeration on the zero-cost path.
+func (m *miner) cancelled() error {
+	if m.done == nil {
+		return nil
+	}
+	m.polls++
+	if m.polls&63 != 0 {
+		return nil
+	}
+	select {
+	case <-m.done:
+		return m.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // sortNodes orders candidates by ascending support, the CHARM heuristic
@@ -123,18 +156,25 @@ func sortNodes(ns []*node) {
 }
 
 // extend is CHARM-EXTEND: it explores the IT-tree rooted at each node,
-// applying the four tidset properties to skip non-closed branches.
-func (m *miner) extend(nodes []*node) {
+// applying the four tidset properties to skip non-closed branches. It
+// aborts with ctx.Err() once the miner's context is done.
+func (m *miner) extend(nodes []*node) error {
 	for i := 0; i < len(nodes); i++ {
 		ni := nodes[i]
 		if ni == nil {
 			continue
+		}
+		if err := m.cancelled(); err != nil {
+			return err
 		}
 		var children []*node
 		for j := i + 1; j < len(nodes); j++ {
 			nj := nodes[j]
 			if nj == nil {
 				continue
+			}
+			if err := m.cancelled(); err != nil {
+				return err
 			}
 			inter := bitset.Intersect(ni.tids, nj.tids)
 			supp := inter.Count()
@@ -175,10 +215,13 @@ func (m *miner) extend(nodes []*node) {
 		}
 		if len(children) > 0 {
 			sortNodes(children)
-			m.extend(children)
+			if err := m.extend(children); err != nil {
+				return err
+			}
 		}
 		m.emit(ni)
 	}
+	return nil
 }
 
 // emit records ni as closed unless an already-emitted CFI subsumes it

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"colarm/internal/mip"
 	"colarm/internal/obs"
 	"colarm/internal/plans"
+	"colarm/internal/qerr"
 	"colarm/internal/relation"
 	"colarm/internal/rtree"
 )
@@ -155,6 +157,12 @@ func (e *Engine) observe(res *plans.Result, err error) {
 // optimizer selects; the estimates for all six plans are returned for
 // inspection.
 func (e *Engine) Mine(q *plans.Query) (*plans.Result, []cost.Estimate, error) {
+	return e.MineContext(context.Background(), q)
+}
+
+// MineContext is Mine under a context: a cancelled or timed-out context
+// aborts the chosen plan mid-operator and returns ctx.Err().
+func (e *Engine) MineContext(ctx context.Context, q *plans.Query) (*plans.Result, []cost.Estimate, error) {
 	if err := q.Validate(e.Index); err != nil {
 		e.queries.Inc()
 		e.queryErrors.Inc()
@@ -162,7 +170,7 @@ func (e *Engine) Mine(q *plans.Query) (*plans.Result, []cost.Estimate, error) {
 	}
 	kind, ests := e.Model.Choose(q)
 	e.chosen[kind].Inc()
-	res, err := e.Executor.Run(kind, q)
+	res, err := e.Executor.RunContext(ctx, kind, q)
 	e.observe(res, err)
 	if err != nil {
 		return nil, ests, err
@@ -172,7 +180,12 @@ func (e *Engine) Mine(q *plans.Query) (*plans.Result, []cost.Estimate, error) {
 
 // MineWith bypasses the optimizer and executes a specific plan.
 func (e *Engine) MineWith(kind plans.Kind, q *plans.Query) (*plans.Result, error) {
-	res, err := e.Executor.Run(kind, q)
+	return e.MineWithContext(context.Background(), kind, q)
+}
+
+// MineWithContext is MineWith under a context (see MineContext).
+func (e *Engine) MineWithContext(ctx context.Context, kind plans.Kind, q *plans.Query) (*plans.Result, error) {
+	res, err := e.Executor.RunContext(ctx, kind, q)
 	e.observe(res, err)
 	return res, err
 }
@@ -238,6 +251,16 @@ func (e *Engine) EvaluatePlans(q *plans.Query) (*ChoiceEvaluation, error) {
 // Explain returns the optimizer's choice and per-plan estimates without
 // executing anything.
 func (e *Engine) Explain(q *plans.Query) (plans.Kind, []cost.Estimate, error) {
+	return e.ExplainContext(context.Background(), q)
+}
+
+// ExplainContext is Explain under a context. Cost estimation itself is
+// a few statistics probes, so the context is only consulted at entry —
+// an expired deadline still fails fast, matching MineContext.
+func (e *Engine) ExplainContext(ctx context.Context, q *plans.Query) (plans.Kind, []cost.Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
 	if err := q.Validate(e.Index); err != nil {
 		return 0, nil, err
 	}
@@ -275,7 +298,7 @@ func (e *Engine) BuildQuery(spec *QuerySpec) (*plans.Query, error) {
 		for _, name := range spec.ItemAttrs {
 			ai := e.Index.Dataset.AttrIndex(name)
 			if ai < 0 {
-				return nil, fmt.Errorf("core: unknown item attribute %q", name)
+				return nil, fmt.Errorf("core: %w: item attribute %q", qerr.ErrUnknownAttribute, name)
 			}
 			mask[ai] = true
 		}

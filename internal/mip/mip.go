@@ -21,6 +21,7 @@ import (
 	"colarm/internal/charm"
 	"colarm/internal/itemset"
 	"colarm/internal/ittree"
+	"colarm/internal/qerr"
 	"colarm/internal/relation"
 	"colarm/internal/rtree"
 )
@@ -169,13 +170,13 @@ func (x *Index) RegionFromSelections(sel map[string][]string) (*itemset.Region, 
 	for name, labels := range sel {
 		ai := x.Dataset.AttrIndex(name)
 		if ai < 0 {
-			return nil, fmt.Errorf("mip: unknown range attribute %q", name)
+			return nil, fmt.Errorf("mip: %w: range attribute %q", qerr.ErrUnknownAttribute, name)
 		}
 		vals := make([]int, 0, len(labels))
 		for _, l := range labels {
 			v := x.Dataset.Attrs[ai].ValueIndex(l)
 			if v < 0 {
-				return nil, fmt.Errorf("mip: attribute %q has no value %q", name, l)
+				return nil, fmt.Errorf("mip: %w: attribute %q has no value %q", qerr.ErrUnknownValue, name, l)
 			}
 			vals = append(vals, v)
 		}

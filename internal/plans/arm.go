@@ -1,6 +1,7 @@
 package plans
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -29,8 +30,8 @@ import (
 // primary support globally. This matches the paper's footnote-2
 // contract: the POQM index answers only queries above the primary
 // support; the from-scratch plan has no such floor.
-func (ex *Executor) runARM(q *Query) (*Result, error) {
-	c := ex.newCtx(q)
+func (ex *Executor) runARM(ctx context.Context, q *Query) (*Result, error) {
+	c := ex.newCtx(ctx, q)
 	if c.st.SubsetSize == 0 {
 		return &Result{Stats: *c.st}, nil
 	}
@@ -59,6 +60,9 @@ func (ex *Executor) runARM(q *Query) (*Result, error) {
 	}
 	point := make([]int, n)
 	for r := 0; r < m; r++ {
+		if err := c.cancelled(); err != nil {
+			return nil, err
+		}
 		c.st.ARMRecordsScanned++
 		for a := 0; a < n; a++ {
 			point[a] = d.Value(r, a)
@@ -81,8 +85,10 @@ func (ex *Executor) runARM(q *Query) (*Result, error) {
 	}
 
 	// εAR step 1: closed frequent itemset mining over the subset
-	// (CHARM, as in the paper).
-	mined, err := charm.MineTidsets(localTids, m, c.minCount)
+	// (CHARM, as in the paper). The context threads into the miner so a
+	// cancelled query aborts inside CHARM-EXTEND, the plan's dominant
+	// cost on low-support queries.
+	mined, err := charm.MineTidsetsContext(ctx, localTids, m, c.minCount)
 	if err != nil {
 		return nil, err
 	}
@@ -123,10 +129,13 @@ func (ex *Executor) runARM(q *Query) (*Result, error) {
 	}
 	c.st.Qualified = len(quals)
 	per := make([][]rules.Rule, len(quals))
-	used := parallelFor(len(quals), c.workers, func(i int) {
+	used, err := parallelForCtx(ctx, len(quals), c.workers, func(i int) {
 		per[i] = rules.Generate(quals[i].Items, quals[i].Support, c.st.SubsetSize,
 			q.MinConfidence, oracle, rules.Options{MaxConsequent: q.MaxConsequent})
 	})
+	if err != nil {
+		return nil, err
+	}
 	tally.addTo(c.st)
 	var out []rules.Rule
 	for _, rs := range per {

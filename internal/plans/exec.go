@@ -1,6 +1,7 @@
 package plans
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"colarm/internal/itemset"
 	"colarm/internal/mip"
 	"colarm/internal/obs"
+	"colarm/internal/qerr"
 	"colarm/internal/rtree"
 	"colarm/internal/rules"
 )
@@ -82,7 +84,21 @@ func NewExecutor(idx *mip.Index) *Executor { return &Executor{Idx: idx} }
 
 // Run executes the query with the chosen plan.
 func (ex *Executor) Run(kind Kind, q *Query) (*Result, error) {
+	return ex.RunContext(context.Background(), kind, q)
+}
+
+// RunContext executes the query with the chosen plan under a context.
+// Cancellation is checked between operators and inside every operator's
+// per-candidate loop (serial and parallel alike), so a cancelled or
+// timed-out context aborts the query mid-ELIMINATE/VERIFY — including
+// the ARM plan's from-scratch CHARM run — and returns ctx.Err() instead
+// of running to completion. A query aborted by its context produces no
+// partial result.
+func (ex *Executor) RunContext(ctx context.Context, kind Kind, q *Query) (*Result, error) {
 	if err := q.Validate(ex.Idx); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -90,9 +106,9 @@ func (ex *Executor) Run(kind Kind, q *Query) (*Result, error) {
 	var err error
 	switch kind {
 	case SEV, SVS, SSEV, SSVS, SSEUV:
-		res, err = ex.runMIPPlan(kind, q)
+		res, err = ex.runMIPPlan(ctx, kind, q)
 	case ARM:
-		res, err = ex.runARM(q)
+		res, err = ex.runARM(ctx, q)
 	default:
 		return nil, errUnknownKind(kind)
 	}
@@ -120,6 +136,9 @@ func (e unknownKindError) Error() string {
 	return fmt.Sprintf("plans: unknown plan kind %d (%s)", int(e), name)
 }
 
+// Unwrap makes errors.Is(err, qerr.ErrUnknownPlan) recognize the error.
+func (e unknownKindError) Unwrap() error { return qerr.ErrUnknownPlan }
+
 func errUnknownKind(k Kind) error { return unknownKindError(k) }
 
 // qctx carries the per-query state shared by the operators. One qctx
@@ -129,11 +148,14 @@ func errUnknownKind(k Kind) error { return unknownKindError(k) }
 type qctx struct {
 	ex       *Executor
 	q        *Query
-	mask     []bool      // item-attribute mask
-	dq       *bitset.Set // focal subset bitmap
-	dqIDs    []int       // focal subset record ids (ScanCheck path)
-	scan     bool        // resolved check mode for this query
-	workers  int         // resolved worker count for this query
+	ctx      context.Context // the query's cancellation context
+	done     <-chan struct{} // ctx.Done(), captured once (nil for Background)
+	polls    int             // cancellation poll cadence counter
+	mask     []bool          // item-attribute mask
+	dq       *bitset.Set     // focal subset bitmap
+	dqIDs    []int           // focal subset record ids (ScanCheck path)
+	scan     bool            // resolved check mode for this query
+	workers  int             // resolved worker count for this query
 	minCount int
 	st       *Stats
 
@@ -142,13 +164,35 @@ type qctx struct {
 	localSupp map[int]int
 }
 
-func (ex *Executor) newCtx(q *Query) *qctx {
+// cancelled polls the query context every cancelPollStride calls (a
+// non-blocking channel probe, cheap enough for the operators' serial
+// per-candidate loops) and returns ctx.Err() once the context is done.
+// With a Background context done is nil and the probe never fires.
+func (c *qctx) cancelled() error {
+	if c.done == nil {
+		return nil
+	}
+	c.polls++
+	if c.polls%cancelPollStride != 0 {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return c.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+func (ex *Executor) newCtx(ctx context.Context, q *Query) *qctx {
 	dq := ex.Idx.SubsetBitmap(q.Region)
 	size := dq.Count()
 	minCount := charm.CountFor(q.MinSupport, size)
 	c := &qctx{
 		ex:        ex,
 		q:         q,
+		ctx:       ctx,
+		done:      ctx.Done(),
 		mask:      q.itemMask(ex.Idx.Space.NumAttrs()),
 		dq:        dq,
 		workers:   ex.workers(),
@@ -197,14 +241,19 @@ type candidate struct {
 
 // search runs the SEARCH (supported=false) or SUPPORTED-SEARCH
 // (supported=true) operator and classifies the overlapping MIPs.
-func (c *qctx) search(supported bool) []candidate {
+func (c *qctx) search(supported bool) ([]candidate, error) {
 	tr := c.q.Trace
 	var t0 time.Time
 	if tr != nil {
 		t0 = time.Now()
 	}
 	var out []candidate
+	var cancelErr error
 	visit := func(e rtree.Entry, rel itemset.Rel) bool {
+		if err := c.cancelled(); err != nil {
+			cancelErr = err
+			return false
+		}
 		out = append(out, candidate{id: e.ID, rel: rel})
 		if rel == itemset.Contained {
 			c.st.Contained++
@@ -219,6 +268,9 @@ func (c *qctx) search(supported bool) []candidate {
 	} else {
 		st = c.ex.Idx.RTree.Search(c.q.Region, visit)
 	}
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
 	c.st.RNodesVisited += st.NodesVisited
 	c.st.REntriesChecked += st.EntriesChecked
 	c.st.Candidates = len(out)
@@ -231,7 +283,7 @@ func (c *qctx) search(supported bool) []candidate {
 			fmt.Sprintf("nodes=%d entries=%d contained=%d partial=%d",
 				st.NodesVisited, st.EntriesChecked, c.st.Contained, c.st.PartialOverlap))
 	}
-	return out
+	return out, nil
 }
 
 // qualified is a candidate rule body that passed the item-attribute
@@ -269,7 +321,7 @@ type qualified struct {
 // needing a record-level check exactly once; (2) the record-level
 // support checks, executed in parallel into pre-indexed slots; (3) a
 // serial minsupport filter in candidate order.
-func (c *qctx) eliminate(cands []candidate, containedShortcut bool) []qualified {
+func (c *qctx) eliminate(cands []candidate, containedShortcut bool) ([]qualified, error) {
 	tr := c.q.Trace
 	var t0 time.Time
 	if tr != nil {
@@ -286,6 +338,9 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) []qualified 
 	var checkIDs []int32 // CFI ids needing a record-level check, first-need order
 	scheduled := make(map[int32]bool)
 	for _, cd := range cands {
+		if err := c.cancelled(); err != nil {
+			return nil, err
+		}
 		full := idx.ITTree.Set(int(cd.id))
 		body, all := full.Items.RestrictedTo(idx.Space, c.mask)
 		if len(body) < 2 {
@@ -339,9 +394,12 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) []qualified 
 	// every worker count.
 	c.st.SupportChecks += len(checkIDs)
 	counts := make([]int, len(checkIDs))
-	used := parallelFor(len(checkIDs), c.workers, func(i int) {
+	used, err := parallelForCtx(c.ctx, len(checkIDs), c.workers, func(i int) {
 		counts[i] = c.countLocal(idx.ITTree.Set(int(checkIDs[i])).Tids)
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i, id := range checkIDs {
 		c.localSupp[int(id)] = counts[i]
 	}
@@ -378,7 +436,7 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) []qualified 
 					c.st.ItemFiltered, len(checkIDs), c.st.Eliminated))
 		}
 	}
-	return out
+	return out, nil
 }
 
 // countItems is the record-level support check of an arbitrary itemset
@@ -462,7 +520,7 @@ func (c *qctx) sharedOracle(cache *shardedCounts, t *counterTally) rules.Support
 // slots are concatenated in qualification order, making the output
 // (after the dedup that serial verify performs anyway) byte-identical
 // to a serial run.
-func (c *qctx) verify(quals []qualified) []rules.Rule {
+func (c *qctx) verify(quals []qualified) ([]rules.Rule, error) {
 	tr := c.q.Trace
 	var t0 time.Time
 	if tr != nil {
@@ -474,6 +532,9 @@ func (c *qctx) verify(quals []qualified) []rules.Rule {
 	if c.workers <= 1 || len(quals) < 2 {
 		oracle := c.oracle()
 		for _, ql := range quals {
+			if err := c.cancelled(); err != nil {
+				return nil, err
+			}
 			rs := rules.Generate(ql.body, ql.local, c.st.SubsetSize, c.q.MinConfidence,
 				oracle, rules.Options{MaxConsequent: c.q.MaxConsequent})
 			out = append(out, rs...)
@@ -482,10 +543,14 @@ func (c *qctx) verify(quals []qualified) []rules.Rule {
 		var tally counterTally
 		oracle := c.sharedOracle(newShardedCounts(), &tally)
 		per := make([][]rules.Rule, len(quals))
-		used = parallelFor(len(quals), c.workers, func(i int) {
+		var err error
+		used, err = parallelForCtx(c.ctx, len(quals), c.workers, func(i int) {
 			per[i] = rules.Generate(quals[i].body, quals[i].local, c.st.SubsetSize,
 				c.q.MinConfidence, oracle, rules.Options{MaxConsequent: c.q.MaxConsequent})
 		})
+		if err != nil {
+			return nil, err
+		}
 		tally.addTo(c.st)
 		for _, rs := range per {
 			out = append(out, rs...)
@@ -497,38 +562,47 @@ func (c *qctx) verify(quals []qualified) []rules.Rule {
 		tr.Record(obs.OpVerify, time.Since(t0), len(quals), len(out), used,
 			fmt.Sprintf("oracle=%d misses=%d", c.st.OracleCalls-oc0, c.st.OracleMisses-om0))
 	}
-	return out
+	return out, nil
 }
 
 // runMIPPlan executes the five MIP-index-based plans, which share the
 // operator skeleton and differ in the SEARCH variant, the batching of
 // the support check, and the contained-MIP shortcut.
-func (ex *Executor) runMIPPlan(kind Kind, q *Query) (*Result, error) {
-	c := ex.newCtx(q)
+func (ex *Executor) runMIPPlan(ctx context.Context, kind Kind, q *Query) (*Result, error) {
+	c := ex.newCtx(ctx, q)
 	if c.st.SubsetSize == 0 {
 		return &Result{Stats: *c.st}, nil
 	}
 	supported := kind == SSEV || kind == SSVS || kind == SSEUV
-	cands := c.search(supported)
+	cands, err := c.search(supported)
+	if err != nil {
+		return nil, err
+	}
 
 	var quals []qualified
 	switch kind {
 	case SEV, SSEV:
 		// Separate ELIMINATE pass, then VERIFY.
-		quals = c.eliminate(cands, false)
+		quals, err = c.eliminate(cands, false)
 	case SVS, SSVS:
 		// SUPPORTED-VERIFY: the support check is interleaved with rule
 		// generation; in this in-memory realization the work is the
 		// same as ELIMINATE's, only unbatched (no separate candidate
 		// list materialization).
-		quals = c.eliminate(cands, false)
+		quals, err = c.eliminate(cands, false)
 	case SSEUV:
 		// Differential treatment: contained MIPs skip the record-level
 		// check entirely and meet the partially overlapped survivors at
 		// the UNION operator.
-		quals = c.eliminate(cands, true)
+		quals, err = c.eliminate(cands, true)
 	}
-	rs := c.verify(quals)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := c.verify(quals)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Rules: rs, Stats: *c.st}
 	return res, nil
 }

@@ -23,10 +23,67 @@
 package plans
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// cancelPollStride is the cadence of the cancellation probes in the
+// operators' serial loops: one non-blocking channel read every this many
+// iterations. Small enough that a cancelled query aborts within a few
+// candidates' worth of work, large enough to be invisible in profiles.
+const cancelPollStride = 16
+
+// parallelForCtx is parallelFor with cooperative cancellation: every
+// worker (and the serial path) polls ctx between items and stops
+// claiming work once the context is done. It returns ctx.Err() when the
+// context fired before all n items completed; items already started
+// still finish (fn is never interrupted mid-call), so callers must
+// discard partial output on error. The worker count returned is the
+// fan-out actually used, as with parallelFor.
+func parallelForCtx(ctx context.Context, n, workers int, fn func(i int)) (int, error) {
+	done := ctx.Done()
+	if done == nil {
+		return parallelFor(n, workers, fn), nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return 1, ctx.Err()
+			default:
+			}
+			fn(i)
+		}
+		return 1, nil
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return workers, ctx.Err()
+}
 
 // parallelFor runs fn(i) for every i in [0,n) across at most workers
 // goroutines. With workers <= 1 (or nothing to parallelize) it degrades

@@ -34,6 +34,7 @@ import (
 	"colarm/internal/itemset"
 	"colarm/internal/mip"
 	"colarm/internal/obs"
+	"colarm/internal/qerr"
 	"colarm/internal/rules"
 )
 
@@ -87,7 +88,7 @@ func ParseKind(s string) (Kind, error) {
 	for _, k := range Kinds() {
 		names = append(names, k.String())
 	}
-	return 0, fmt.Errorf("plans: unknown plan %q (valid plans: %s)", s, strings.Join(names, ", "))
+	return 0, fmt.Errorf("plans: %w %q (valid plans: %s)", qerr.ErrUnknownPlan, s, strings.Join(names, ", "))
 }
 
 // normalizePlanName strips the separators plan names are written with
@@ -136,10 +137,13 @@ func (q *Query) Validate(idx *mip.Index) error {
 		return fmt.Errorf("plans: region has %d dims, dataset has %d attributes", q.Region.Dims(), idx.Space.NumAttrs())
 	}
 	if q.MinSupport <= 0 || q.MinSupport > 1 {
-		return fmt.Errorf("plans: minsupport %v outside (0,1]", q.MinSupport)
+		return fmt.Errorf("plans: %w: minsupport %v outside (0,1]", qerr.ErrBadThreshold, q.MinSupport)
 	}
 	if q.MinConfidence < 0 || q.MinConfidence > 1 {
-		return fmt.Errorf("plans: minconfidence %v outside [0,1]", q.MinConfidence)
+		return fmt.Errorf("plans: %w: minconfidence %v outside [0,1]", qerr.ErrBadThreshold, q.MinConfidence)
+	}
+	if q.MaxConsequent < 0 {
+		return fmt.Errorf("plans: %w: max consequent %d negative", qerr.ErrBadThreshold, q.MaxConsequent)
 	}
 	if q.ItemAttrs != nil && len(q.ItemAttrs) != idx.Space.NumAttrs() {
 		return fmt.Errorf("plans: item attribute mask has %d entries, dataset has %d attributes", len(q.ItemAttrs), idx.Space.NumAttrs())

@@ -1,0 +1,23 @@
+// Package qerr defines the sentinel errors of query validation, shared
+// by every layer that rejects a malformed mining request (the mip
+// vocabulary resolver, the plans validator, the plan-name parsers) and
+// re-exported by the public facade. Callers classify failures with
+// errors.Is — in particular the HTTP serving layer, which maps these
+// four to 400 Bad Request and everything else to 500.
+package qerr
+
+import "errors"
+
+var (
+	// ErrUnknownAttribute marks a range or item-attribute name absent
+	// from the dataset schema.
+	ErrUnknownAttribute = errors.New("unknown attribute")
+	// ErrUnknownValue marks a range selection label absent from its
+	// attribute's value dictionary.
+	ErrUnknownValue = errors.New("unknown value")
+	// ErrBadThreshold marks a minsupport/minconfidence (or consequent
+	// cap) outside its legal domain.
+	ErrBadThreshold = errors.New("bad threshold")
+	// ErrUnknownPlan marks an unresolvable execution-plan name or kind.
+	ErrUnknownPlan = errors.New("unknown plan")
+)

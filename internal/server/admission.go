@@ -1,0 +1,90 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"colarm/internal/obs"
+)
+
+// errOverloaded reports that admission control turned a request away:
+// every execution slot was busy and either the wait queue was full or
+// the queue-wait deadline passed first. The HTTP layer maps it to
+// 429 Too Many Requests.
+var errOverloaded = errors.New("server: overloaded, try again later")
+
+// admission bounds the mining work a server runs at once: at most
+// maxInFlight queries execute concurrently, at most maxQueue more wait
+// for a slot, and no request waits longer than maxWait. Everything
+// beyond those bounds is rejected immediately — the overload signal
+// clients need for backoff, instead of a convoy of slow responses.
+type admission struct {
+	slots    chan struct{} // capacity = maxInFlight; a token in the channel is a running query
+	waiting  atomic.Int64
+	maxQueue int
+	maxWait  time.Duration
+
+	admitted *obs.Counter
+	queued   *obs.Counter
+	rejected *obs.Counter
+}
+
+func newAdmission(maxInFlight, maxQueue int, maxWait time.Duration, reg *obs.Registry) *admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: maxQueue,
+		maxWait:  maxWait,
+		admitted: reg.Counter("colarm_admission_admitted_total", "Queries granted an execution slot."),
+		queued:   reg.Counter("colarm_admission_queued_total", "Queries that waited in the admission queue before a slot freed."),
+		rejected: reg.Counter("colarm_admission_rejected_total", "Queries turned away by admission control (queue full or wait deadline)."),
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if
+// none is free. It returns errOverloaded when the queue is full or the
+// queue-wait deadline fires, and ctx.Err() when the caller's own
+// context ends the wait. Pair every nil return with release().
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Inc()
+		return nil
+	default:
+	}
+	if int(a.waiting.Add(1)) > a.maxQueue {
+		a.waiting.Add(-1)
+		a.rejected.Inc()
+		return errOverloaded
+	}
+	defer a.waiting.Add(-1)
+	a.queued.Inc()
+
+	wait := ctx
+	if a.maxWait > 0 {
+		var cancel context.CancelFunc
+		wait, cancel = context.WithTimeout(ctx, a.maxWait)
+		defer cancel()
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Inc()
+		return nil
+	case <-wait.Done():
+		if err := ctx.Err(); err != nil {
+			return err // the caller's own deadline/cancel, not our queue limit
+		}
+		a.rejected.Inc()
+		return errOverloaded
+	}
+}
+
+// release returns an execution slot.
+func (a *admission) release() { <-a.slots }

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"colarm"
+	"colarm/internal/obs"
+)
+
+// resultCache is a sharded LRU cache of query results, keyed by
+// "<dataset>@g<generation>|<Query.Canonical()>". Sharding keeps lock
+// contention off the serving hot path; each shard holds its own LRU
+// list under its own mutex. Entries are bounded two ways: a per-shard
+// capacity (evicting least-recently-used) and a TTL (entries past it
+// are misses and are dropped on sight). Engine reloads invalidate by
+// key construction — a bumped generation never matches old keys, and
+// the orphaned entries age out through LRU pressure or TTL.
+//
+// Hits return a fresh Result whose Rules (and Estimates) are deep
+// copies of the stored ones — callers may mutate what they get — and
+// whose Stats carries only the identity of the execution (plan, subset
+// size, minsupport count) with every operator counter zero: a cache hit
+// did no mining work, and the counters say so.
+type resultCache struct {
+	shards      []cacheShard
+	perShardCap int
+	ttl         time.Duration
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	m   map[string]*list.Element
+	lru list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key     string
+	res     *colarm.Result // stored copy; never handed out directly
+	expires time.Time      // zero when the cache has no TTL
+}
+
+const cacheShardCount = 16
+
+// newResultCache sizes a cache for about maxEntries entries total with
+// the given TTL (0 disables expiry) and registers hit/miss/eviction
+// counters in reg.
+func newResultCache(maxEntries int, ttl time.Duration, reg *obs.Registry) *resultCache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	per := (maxEntries + cacheShardCount - 1) / cacheShardCount
+	if per < 1 {
+		per = 1
+	}
+	c := &resultCache{
+		shards:      make([]cacheShard, cacheShardCount),
+		perShardCap: per,
+		ttl:         ttl,
+		hits:        reg.Counter("colarm_cache_hits_total", "Query results served from the result cache."),
+		misses:      reg.Counter("colarm_cache_misses_total", "Result-cache lookups that found no live entry."),
+		evictions:   reg.Counter("colarm_cache_evictions_total", "Result-cache entries evicted by capacity or TTL."),
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *resultCache) shard(key string) *cacheShard {
+	return &c.shards[fnv32a(key)%cacheShardCount]
+}
+
+// get returns a copy of the cached result for key, or nil on a miss
+// (absent or expired).
+func (c *resultCache) get(key string) *colarm.Result {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	el, ok := sh.m[key]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Inc()
+		return nil
+	}
+	ent := el.Value.(*cacheEntry)
+	if !ent.expires.IsZero() && time.Now().After(ent.expires) {
+		sh.lru.Remove(el)
+		delete(sh.m, key)
+		sh.mu.Unlock()
+		c.misses.Inc()
+		c.evictions.Inc()
+		return nil
+	}
+	sh.lru.MoveToFront(el)
+	res := hitResult(ent.res)
+	sh.mu.Unlock()
+	c.hits.Inc()
+	return res
+}
+
+// put stores a copy of res under key, evicting the shard's LRU tail
+// when over capacity.
+func (c *resultCache) put(key string, res *colarm.Result) {
+	stored := storedResult(res)
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = time.Now().Add(c.ttl)
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.m[key]; ok {
+		el.Value = &cacheEntry{key: key, res: stored, expires: expires}
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		return
+	}
+	sh.m[key] = sh.lru.PushFront(&cacheEntry{key: key, res: stored, expires: expires})
+	evicted := 0
+	for sh.lru.Len() > c.perShardCap {
+		tail := sh.lru.Back()
+		sh.lru.Remove(tail)
+		delete(sh.m, tail.Value.(*cacheEntry).key)
+		evicted++
+	}
+	sh.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+	}
+}
+
+// len returns the live entry count across all shards (expired entries
+// still resident are counted; they leave on next touch).
+func (c *resultCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// storedResult deep-copies what the cache keeps: rules, estimates and
+// the execution identity. The trace is dropped — traced queries bypass
+// the cache entirely — and operator counters are not kept because hits
+// must report zeros.
+func storedResult(res *colarm.Result) *colarm.Result {
+	return &colarm.Result{
+		Rules: copyRules(res.Rules),
+		Stats: colarm.Stats{
+			Plan:            res.Stats.Plan,
+			SubsetSize:      res.Stats.SubsetSize,
+			MinSupportCount: res.Stats.MinSupportCount,
+		},
+		Estimates: append([]colarm.PlanEstimate(nil), res.Estimates...),
+	}
+}
+
+// hitResult builds the Result a cache hit returns: fresh copies of the
+// stored rules and estimates under zeroed operator counters.
+func hitResult(stored *colarm.Result) *colarm.Result {
+	return &colarm.Result{
+		Rules:     copyRules(stored.Rules),
+		Stats:     stored.Stats,
+		Estimates: append([]colarm.PlanEstimate(nil), stored.Estimates...),
+	}
+}
+
+func copyRules(rs []colarm.Rule) []colarm.Rule {
+	if rs == nil {
+		return nil
+	}
+	out := make([]colarm.Rule, len(rs))
+	for i, r := range rs {
+		out[i] = r
+		out[i].Antecedent = append([]string(nil), r.Antecedent...)
+		out[i].Consequent = append([]string(nil), r.Consequent...)
+	}
+	return out
+}
+
+// fnv32a is the 32-bit FNV-1a hash used to pick a shard.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,526 @@
+// Package server is COLARM's serving layer: an HTTP service that
+// answers localized mining queries for a registry of named engines,
+// with per-request deadlines propagated into the executing operators,
+// admission control bounding concurrent mining work, and a sharded LRU
+// result cache keyed by the canonical query form.
+//
+// Endpoints:
+//
+//	POST /v1/mine      execute a query (JSON body, or a COLARM-QL
+//	                   statement as text/plain)
+//	POST /v1/explain   optimizer cost estimates without executing
+//	GET  /v1/datasets  registered datasets and their metadata
+//	GET  /metrics      Prometheus exposition: server + engine metrics
+//	GET  /debug/pprof  the standard Go profiling handlers
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"colarm"
+	"colarm/internal/colarmql"
+	"colarm/internal/obs"
+)
+
+// Config tunes one Server. Zero values select the defaults noted on
+// each field.
+type Config struct {
+	// MaxInFlight caps concurrently executing mining queries
+	// (default 8). Cache hits, explains and listings don't consume
+	// slots.
+	MaxInFlight int
+	// MaxQueue caps queries waiting for a slot (default 32; 0 keeps a
+	// strict no-queue policy where busy means 429).
+	MaxQueue int
+	// QueueWait caps the time a query waits for a slot before a 429
+	// (default 2s).
+	QueueWait time.Duration
+	// QueryTimeout is the server-imposed deadline on each mining
+	// request (default 30s; <0 disables). Clients may ask for less via
+	// the request's "timeout" field, never more.
+	QueryTimeout time.Duration
+	// CacheEntries bounds the result cache (total entries, default
+	// 4096; <0 disables caching).
+	CacheEntries int
+	// CacheTTL expires cached results (default 5m; 0 keeps entries
+	// until evicted).
+	CacheTTL time.Duration
+	// EngineMetrics, when non-nil, is the shared registry the server's
+	// engines were opened with; /metrics appends its exposition after
+	// the server's own metrics.
+	EngineMetrics *colarm.MetricsRegistry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 8
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 32
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = 5 * time.Minute
+	}
+	return c
+}
+
+// Server serves mining queries over HTTP for a registry of engines.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	cache   *resultCache // nil when caching is disabled
+	adm     *admission
+	metrics *obs.Registry
+
+	requests map[string]*obs.Counter
+	errors   map[string]*obs.Counter
+	uncached *obs.Counter
+}
+
+// New assembles a server over the given engine registry.
+func New(reg *Registry, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := obs.NewRegistry()
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		adm:      newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait, m),
+		metrics:  m,
+		requests: make(map[string]*obs.Counter),
+		errors:   make(map[string]*obs.Counter),
+		uncached: m.Counter("colarm_uncacheable_queries_total",
+			"Mined queries not stored in the result cache (traced or no-cache requests)."),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newResultCache(cfg.CacheEntries, cfg.CacheTTL, m)
+	}
+	for _, ep := range []string{"mine", "explain", "datasets", "metrics"} {
+		labels := fmt.Sprintf("endpoint=%q", ep)
+		s.requests[ep] = m.CounterWith("colarm_http_requests_total", labels, "HTTP requests served, by endpoint.")
+		s.errors[ep] = m.CounterWith("colarm_http_request_errors_total", labels, "HTTP requests answered with a non-2xx status, by endpoint.")
+	}
+	return s
+}
+
+// Handler returns the server's routing handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/mine", s.handleMine)
+	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// mineRequest is the JSON body of /v1/mine and /v1/explain. Exactly one
+// of QL (a COLARM-QL statement, also accepted as a raw text/plain body)
+// or the structured fields describes the query; Dataset routes the
+// structured form and is implied by QL's FROM clause.
+type mineRequest struct {
+	Dataset        string              `json:"dataset"`
+	QL             string              `json:"ql,omitempty"`
+	Range          map[string][]string `json:"range,omitempty"`
+	ItemAttributes []string            `json:"itemAttributes,omitempty"`
+	MinSupport     float64             `json:"minSupport,omitempty"`
+	MinConfidence  float64             `json:"minConfidence,omitempty"`
+	MaxConsequent  int                 `json:"maxConsequent,omitempty"`
+	Plan           string              `json:"plan,omitempty"`
+	// Timeout is a Go duration string ("250ms", "5s") lowering the
+	// server's per-query deadline for this request.
+	Timeout string `json:"timeout,omitempty"`
+	// Trace attaches the per-operator execution trace to the response.
+	// Traced queries bypass the result cache.
+	Trace bool `json:"trace,omitempty"`
+	// NoCache skips the result cache for this request (both lookup and
+	// fill).
+	NoCache bool `json:"noCache,omitempty"`
+}
+
+type ruleJSON struct {
+	Antecedent      []string `json:"antecedent"`
+	Consequent      []string `json:"consequent"`
+	Support         float64  `json:"support"`
+	Confidence      float64  `json:"confidence"`
+	Lift            float64  `json:"lift"`
+	Cosine          float64  `json:"cosine"`
+	Kulczynski      float64  `json:"kulczynski"`
+	SupportCount    int      `json:"supportCount"`
+	AntecedentCount int      `json:"antecedentCount"`
+	SubsetSize      int      `json:"subsetSize"`
+}
+
+type statsJSON struct {
+	Plan            string `json:"plan"`
+	SubsetSize      int    `json:"subsetSize"`
+	MinSupportCount int    `json:"minSupportCount"`
+	RNodesVisited   int    `json:"rNodesVisited"`
+	REntriesChecked int    `json:"rEntriesChecked"`
+	Candidates      int    `json:"candidates"`
+	Contained       int    `json:"contained"`
+	PartialOverlap  int    `json:"partialOverlap"`
+	ItemFiltered    int    `json:"itemFiltered"`
+	SupportChecks   int    `json:"supportChecks"`
+	Eliminated      int    `json:"eliminated"`
+	Qualified       int    `json:"qualified"`
+	OracleCalls     int    `json:"oracleCalls"`
+	OracleMisses    int    `json:"oracleMisses"`
+	RulesEmitted    int    `json:"rulesEmitted"`
+	DurationNanos   int64  `json:"durationNanos"`
+}
+
+type estimateJSON struct {
+	Plan       string  `json:"plan"`
+	Cost       float64 `json:"cost"`
+	Candidates float64 `json:"candidates"`
+	Qualified  float64 `json:"qualified"`
+}
+
+type mineResponse struct {
+	Dataset   string         `json:"dataset"`
+	Cached    bool           `json:"cached"`
+	Rules     []ruleJSON     `json:"rules"`
+	Stats     statsJSON      `json:"stats"`
+	Estimates []estimateJSON `json:"estimates,omitempty"`
+	Trace     string         `json:"trace,omitempty"`
+}
+
+type explainResponse struct {
+	Dataset   string         `json:"dataset"`
+	Estimates []estimateJSON `json:"estimates"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// parseRequest decodes the request body into the engine-independent
+// parts of a mine request: JSON bodies directly, raw COLARM-QL bodies
+// (text/plain, or any body not starting with '{') into the QL field.
+func parseRequest(r *http.Request) (*mineRequest, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	trimmed := strings.TrimSpace(string(body))
+	if trimmed == "" {
+		return nil, fmt.Errorf("empty request body")
+	}
+	if strings.HasPrefix(trimmed, "{") {
+		var req mineRequest
+		dec := json.NewDecoder(strings.NewReader(trimmed))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("decoding JSON body: %w", err)
+		}
+		return &req, nil
+	}
+	// A raw COLARM-QL statement.
+	return &mineRequest{QL: trimmed}, nil
+}
+
+// resolve turns a parsed request into the engine, its generation and
+// the query to run. QL requests route by their FROM clause.
+func (s *Server) resolve(req *mineRequest) (*colarm.Engine, uint64, colarm.Query, error) {
+	var q colarm.Query
+	name := req.Dataset
+	if req.QL != "" {
+		st, err := colarmql.Parse(req.QL)
+		if err != nil {
+			return nil, 0, q, badRequestError{err}
+		}
+		if name != "" && !strings.EqualFold(name, st.Dataset) {
+			return nil, 0, q, badRequestError{fmt.Errorf("dataset field %q disagrees with FROM clause %q", name, st.Dataset)}
+		}
+		name = st.Dataset
+	}
+	eng, gen, err := s.reg.Get(name)
+	if err != nil {
+		return nil, 0, q, notFoundError{err}
+	}
+	if req.QL != "" {
+		q, err = eng.ParseQuery(req.QL)
+		if err != nil {
+			return nil, 0, q, err
+		}
+	} else {
+		plan, err := colarm.ParsePlan(req.Plan)
+		if err != nil {
+			return nil, 0, q, err
+		}
+		q = colarm.Query{
+			Range:          req.Range,
+			ItemAttributes: req.ItemAttributes,
+			MinSupport:     req.MinSupport,
+			MinConfidence:  req.MinConfidence,
+			MaxConsequent:  req.MaxConsequent,
+			Plan:           plan,
+		}
+	}
+	q.Trace = req.Trace
+	if err := q.Validate(); err != nil {
+		return nil, 0, q, err
+	}
+	return eng, gen, q, nil
+}
+
+// requestContext derives the query's execution context: the server's
+// QueryTimeout, tightened (never loosened) by the request's own
+// timeout field.
+func (s *Server) requestContext(ctx context.Context, req *mineRequest) (context.Context, context.CancelFunc, error) {
+	limit := s.cfg.QueryTimeout
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil {
+			return nil, nil, badRequestError{fmt.Errorf("bad timeout %q: %w", req.Timeout, err)}
+		}
+		if d > 0 && (limit <= 0 || d < limit) {
+			limit = d
+		}
+	}
+	if limit > 0 {
+		ctx, cancel := context.WithTimeout(ctx, limit)
+		return ctx, cancel, nil
+	}
+	return ctx, func() {}, nil
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	s.requests["mine"].Inc()
+	req, err := parseRequest(r)
+	if err != nil {
+		s.fail(w, "mine", badRequestError{err})
+		return
+	}
+	eng, gen, q, err := s.resolve(req)
+	if err != nil {
+		s.fail(w, "mine", err)
+		return
+	}
+	name := eng.Dataset().Name()
+
+	cacheable := s.cache != nil && !q.Trace && !req.NoCache
+	key := fmt.Sprintf("%s@g%d|%s", name, gen, q.Canonical())
+	if cacheable {
+		if res := s.cache.get(key); res != nil {
+			s.writeJSON(w, http.StatusOK, mineResponse{
+				Dataset:   name,
+				Cached:    true,
+				Rules:     rulesJSON(res.Rules),
+				Stats:     toStatsJSON(res.Stats),
+				Estimates: estimatesJSON(res.Estimates),
+			})
+			return
+		}
+	} else if s.cache != nil {
+		s.uncached.Inc()
+	}
+
+	ctx, cancel, err := s.requestContext(r.Context(), req)
+	if err != nil {
+		s.fail(w, "mine", err)
+		return
+	}
+	defer cancel()
+	if err := s.adm.acquire(ctx); err != nil {
+		s.fail(w, "mine", err)
+		return
+	}
+	res, err := eng.MineContext(ctx, q)
+	s.adm.release()
+	if err != nil {
+		s.fail(w, "mine", err)
+		return
+	}
+	if cacheable {
+		s.cache.put(key, res)
+	}
+	resp := mineResponse{
+		Dataset:   name,
+		Rules:     rulesJSON(res.Rules),
+		Stats:     toStatsJSON(res.Stats),
+		Estimates: estimatesJSON(res.Estimates),
+	}
+	if res.Trace != nil {
+		resp.Trace = res.Trace.Tree()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.requests["explain"].Inc()
+	req, err := parseRequest(r)
+	if err != nil {
+		s.fail(w, "explain", badRequestError{err})
+		return
+	}
+	eng, _, q, err := s.resolve(req)
+	if err != nil {
+		s.fail(w, "explain", err)
+		return
+	}
+	ctx, cancel, err := s.requestContext(r.Context(), req)
+	if err != nil {
+		s.fail(w, "explain", err)
+		return
+	}
+	defer cancel()
+	ests, err := eng.ExplainContext(ctx, q)
+	if err != nil {
+		s.fail(w, "explain", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, explainResponse{
+		Dataset:   eng.Dataset().Name(),
+		Estimates: estimatesJSON(ests),
+	})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	s.requests["datasets"].Inc()
+	s.writeJSON(w, http.StatusOK, struct {
+		Datasets []DatasetInfo `json:"datasets"`
+	}{s.reg.List()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.requests["metrics"].Inc()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
+	if s.cfg.EngineMetrics != nil {
+		_ = s.cfg.EngineMetrics.WritePrometheus(w)
+	}
+}
+
+// badRequestError and notFoundError wrap errors whose status the
+// handler decided at the point of failure.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+type notFoundError struct{ err error }
+
+func (e notFoundError) Error() string { return e.err.Error() }
+func (e notFoundError) Unwrap() error { return e.err }
+
+// statusOf maps an error to its HTTP status: the facade's typed
+// validation errors (and explicitly tagged parse failures) are the
+// caller's fault — 400; an unknown dataset is 404; admission overflow
+// is 429; a query that outran its deadline is 504; everything else is
+// an engine fault — 500.
+func statusOf(err error) int {
+	var bad badRequestError
+	var missing notFoundError
+	switch {
+	case errors.As(err, &bad),
+		errors.Is(err, colarm.ErrUnknownAttribute),
+		errors.Is(err, colarm.ErrUnknownValue),
+		errors.Is(err, colarm.ErrBadThreshold),
+		errors.Is(err, colarm.ErrUnknownPlan):
+		return http.StatusBadRequest
+	case errors.As(err, &missing):
+		return http.StatusNotFound
+	case errors.Is(err, errOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; 499 is the de-facto (nginx) code for
+		// "client closed request" — nobody reads it, but the access log
+		// does.
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, endpoint string, err error) {
+	s.errors[endpoint].Inc()
+	s.writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func rulesJSON(rs []colarm.Rule) []ruleJSON {
+	out := make([]ruleJSON, len(rs))
+	for i, r := range rs {
+		out[i] = ruleJSON{
+			Antecedent:      r.Antecedent,
+			Consequent:      r.Consequent,
+			Support:         r.Support,
+			Confidence:      r.Confidence,
+			Lift:            r.Lift,
+			Cosine:          r.Cosine,
+			Kulczynski:      r.Kulczynski,
+			SupportCount:    r.SupportCount,
+			AntecedentCount: r.AntecedentCount,
+			SubsetSize:      r.SubsetSize,
+		}
+	}
+	return out
+}
+
+func toStatsJSON(st colarm.Stats) statsJSON {
+	return statsJSON{
+		Plan:            st.Plan.String(),
+		SubsetSize:      st.SubsetSize,
+		MinSupportCount: st.MinSupportCount,
+		RNodesVisited:   st.RNodesVisited,
+		REntriesChecked: st.REntriesChecked,
+		Candidates:      st.Candidates,
+		Contained:       st.Contained,
+		PartialOverlap:  st.PartialOverlap,
+		ItemFiltered:    st.ItemFiltered,
+		SupportChecks:   st.SupportChecks,
+		Eliminated:      st.Eliminated,
+		Qualified:       st.Qualified,
+		OracleCalls:     st.OracleCalls,
+		OracleMisses:    st.OracleMisses,
+		RulesEmitted:    st.RulesEmitted,
+		DurationNanos:   st.DurationNanos,
+	}
+}
+
+func estimatesJSON(ests []colarm.PlanEstimate) []estimateJSON {
+	if len(ests) == 0 {
+		return nil
+	}
+	out := make([]estimateJSON, len(ests))
+	for i, e := range ests {
+		out[i] = estimateJSON{
+			Plan:       e.Plan.String(),
+			Cost:       e.Cost,
+			Candidates: e.Candidates,
+			Qualified:  e.Qualified,
+		}
+	}
+	return out
+}

@@ -1,0 +1,629 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"colarm"
+	"colarm/internal/obs"
+)
+
+func salaryEngine(t testing.TB, metrics *colarm.MetricsRegistry) *colarm.Engine {
+	t.Helper()
+	ds, err := colarm.Salary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := colarm.Open(ds, colarm.Options{PrimarySupport: 0.18, Metrics: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *Registry) {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Register(salaryEngine(t, cfg.EngineMetrics))
+	return New(reg, cfg), reg
+}
+
+func postJSON(t testing.TB, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(b))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func decodeMine(t testing.TB, w *httptest.ResponseRecorder) mineResponse {
+	t.Helper()
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", w.Code, w.Body.String())
+	}
+	var resp mineResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+var seattleQuery = map[string]any{
+	"dataset":        "salary",
+	"range":          map[string][]string{"Location": {"Seattle"}, "Gender": {"F"}},
+	"itemAttributes": []string{"Age", "Salary"},
+	"minSupport":     0.70,
+	"minConfidence":  0.95,
+}
+
+func TestMineJSONAndCacheHit(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+
+	first := decodeMine(t, postJSON(t, h, "/v1/mine", seattleQuery))
+	if first.Cached {
+		t.Fatal("first query must not be a cache hit")
+	}
+	if len(first.Rules) == 0 {
+		t.Fatal("no rules mined")
+	}
+	if first.Stats.DurationNanos == 0 {
+		t.Error("fresh execution should report a nonzero duration")
+	}
+
+	second := decodeMine(t, postJSON(t, h, "/v1/mine", seattleQuery))
+	if !second.Cached {
+		t.Fatal("identical query must be served from cache")
+	}
+	// Cache hits return the same rules and estimates...
+	r1, _ := json.Marshal(first.Rules)
+	r2, _ := json.Marshal(second.Rules)
+	if !bytes.Equal(r1, r2) {
+		t.Errorf("cached rules differ:\n%s\n%s", r1, r2)
+	}
+	e1, _ := json.Marshal(first.Estimates)
+	e2, _ := json.Marshal(second.Estimates)
+	if !bytes.Equal(e1, e2) {
+		t.Errorf("cached estimates differ:\n%s\n%s", e1, e2)
+	}
+	// ...under an identity-only Stats: every operator counter zero.
+	st := second.Stats
+	if st.Plan != first.Stats.Plan || st.SubsetSize != first.Stats.SubsetSize ||
+		st.MinSupportCount != first.Stats.MinSupportCount {
+		t.Errorf("cache hit lost execution identity: %+v", st)
+	}
+	for name, v := range map[string]int{
+		"rNodesVisited": st.RNodesVisited, "rEntriesChecked": st.REntriesChecked,
+		"candidates": st.Candidates, "supportChecks": st.SupportChecks,
+		"eliminated": st.Eliminated, "qualified": st.Qualified,
+		"rulesEmitted": st.RulesEmitted,
+	} {
+		if v != 0 {
+			t.Errorf("cache hit %s = %d, want 0", name, v)
+		}
+	}
+	if st.DurationNanos != 0 {
+		t.Errorf("cache hit durationNanos = %d, want 0", st.DurationNanos)
+	}
+	if got := s.cache.hits.Value(); got != 1 {
+		t.Errorf("cache hits counter = %d, want 1", got)
+	}
+	if got := s.cache.misses.Value(); got != 1 {
+		t.Errorf("cache misses counter = %d, want 1", got)
+	}
+}
+
+// TestCanonicalOrderSharesCache is the latent-bug regression: queries
+// differing only in item-attribute (or range-value) order must share a
+// cache entry.
+func TestCanonicalOrderSharesCache(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+
+	decodeMine(t, postJSON(t, h, "/v1/mine", seattleQuery))
+	reordered := map[string]any{
+		"dataset":        "salary",
+		"range":          map[string][]string{"Gender": {"F"}, "Location": {"Seattle"}},
+		"itemAttributes": []string{"Salary", "Age"}, // reversed
+		"minSupport":     0.70,
+		"minConfidence":  0.95,
+	}
+	resp := decodeMine(t, postJSON(t, h, "/v1/mine", reordered))
+	if !resp.Cached {
+		t.Error("reordered-but-equivalent query missed the cache")
+	}
+}
+
+func TestQLBodyAndRouting(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+
+	ql := `REPORT LOCALIZED ASSOCIATION RULES FROM salary
+		WHERE RANGE Location = (Seattle), Gender = (F)
+		AND ITEM ATTRIBUTES Age, Salary
+		HAVING minsupport = 70% AND minconfidence = 95%;`
+
+	// Raw text/plain QL body.
+	req := httptest.NewRequest("POST", "/v1/mine", strings.NewReader(ql))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	resp := decodeMine(t, w)
+	if resp.Dataset != "salary" {
+		t.Errorf("dataset = %q, want salary (routed by FROM clause)", resp.Dataset)
+	}
+	if len(resp.Rules) == 0 {
+		t.Error("QL query found no rules")
+	}
+
+	// The equivalent JSON-embedded QL shares the cache with the raw form.
+	resp2 := decodeMine(t, postJSON(t, h, "/v1/mine", map[string]any{"ql": ql}))
+	if !resp2.Cached {
+		t.Error("same QL via JSON body missed the cache")
+	}
+
+	// Dataset field disagreeing with the FROM clause is a 400.
+	w = postJSON(t, h, "/v1/mine", map[string]any{"dataset": "other", "ql": ql})
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("disagreeing dataset: status = %d, want 400", w.Code)
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"unknown dataset", map[string]any{"dataset": "nope", "minSupport": 0.5, "minConfidence": 0.5}, http.StatusNotFound},
+		{"bad threshold", map[string]any{"dataset": "salary", "minSupport": 0.0, "minConfidence": 0.5}, http.StatusBadRequest},
+		{"unknown range attribute", map[string]any{"dataset": "salary", "range": map[string][]string{"Nope": {"x"}}, "minSupport": 0.5, "minConfidence": 0.5}, http.StatusBadRequest},
+		{"unknown range value", map[string]any{"dataset": "salary", "range": map[string][]string{"Location": {"Atlantis"}}, "minSupport": 0.5, "minConfidence": 0.5}, http.StatusBadRequest},
+		{"unknown plan", map[string]any{"dataset": "salary", "minSupport": 0.5, "minConfidence": 0.5, "plan": "X-Y-Z"}, http.StatusBadRequest},
+		{"unknown item attribute", map[string]any{"dataset": "salary", "itemAttributes": []string{"Nope"}, "minSupport": 0.5, "minConfidence": 0.5}, http.StatusBadRequest},
+		{"bad timeout", map[string]any{"dataset": "salary", "minSupport": 0.5, "minConfidence": 0.5, "timeout": "soon"}, http.StatusBadRequest},
+		{"unknown JSON field", map[string]any{"dataset": "salary", "minSupport": 0.5, "minConfidence": 0.5, "bogus": 1}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		w := postJSON(t, h, "/v1/mine", tc.body)
+		if w.Code != tc.want {
+			t.Errorf("%s: status = %d, want %d (body: %s)", tc.name, w.Code, tc.want, w.Body.String())
+		}
+		var e errorResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body not JSON with message: %s", tc.name, w.Body.String())
+		}
+	}
+
+	// Empty body.
+	req := httptest.NewRequest("POST", "/v1/mine", strings.NewReader("  "))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("empty body: status = %d, want 400", w.Code)
+	}
+}
+
+func TestDeadlineExceededIs504(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+	body := map[string]any{}
+	for k, v := range seattleQuery {
+		body[k] = v
+	}
+	body["timeout"] = "1ns"
+	w := postJSON(t, h, "/v1/mine", body)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Errorf("status = %d, want 504 (body: %s)", w.Code, w.Body.String())
+	}
+}
+
+func TestTraceBypassesCache(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+
+	traced := map[string]any{}
+	for k, v := range seattleQuery {
+		traced[k] = v
+	}
+	traced["trace"] = true
+	resp := decodeMine(t, postJSON(t, h, "/v1/mine", traced))
+	if resp.Trace == "" {
+		t.Error("traced query returned no trace tree")
+	}
+	if resp.Cached {
+		t.Error("traced query must not hit the cache")
+	}
+	resp = decodeMine(t, postJSON(t, h, "/v1/mine", traced))
+	if resp.Cached {
+		t.Error("traced query must not fill the cache either")
+	}
+	if s.uncached.Value() < 2 {
+		t.Errorf("uncacheable counter = %d, want >= 2", s.uncached.Value())
+	}
+
+	// noCache likewise skips lookup and fill.
+	noCache := map[string]any{}
+	for k, v := range seattleQuery {
+		noCache[k] = v
+	}
+	noCache["noCache"] = true
+	decodeMine(t, postJSON(t, h, "/v1/mine", noCache))
+	if resp := decodeMine(t, postJSON(t, h, "/v1/mine", noCache)); resp.Cached {
+		t.Error("noCache query hit the cache")
+	}
+}
+
+func TestGenerationBumpInvalidates(t *testing.T) {
+	cfg := Config{}
+	s, reg := newTestServer(t, cfg)
+	h := s.Handler()
+
+	decodeMine(t, postJSON(t, h, "/v1/mine", seattleQuery))
+	if resp := decodeMine(t, postJSON(t, h, "/v1/mine", seattleQuery)); !resp.Cached {
+		t.Fatal("warm-up: second query should hit")
+	}
+
+	// Re-register (a reload): the generation bump retires cached keys.
+	if gen := reg.Register(salaryEngine(t, nil)); gen != 2 {
+		t.Fatalf("re-register generation = %d, want 2", gen)
+	}
+	if resp := decodeMine(t, postJSON(t, h, "/v1/mine", seattleQuery)); resp.Cached {
+		t.Error("query after engine reload served a stale generation")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s, _ := newTestServer(t, Config{CacheEntries: -1})
+	h := s.Handler()
+	if s.cache != nil {
+		t.Fatal("CacheEntries < 0 should disable the cache")
+	}
+	decodeMine(t, postJSON(t, h, "/v1/mine", seattleQuery))
+	if resp := decodeMine(t, postJSON(t, h, "/v1/mine", seattleQuery)); resp.Cached {
+		t.Error("cache disabled but query reported a hit")
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+	w := postJSON(t, h, "/v1/explain", seattleQuery)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", w.Code, w.Body.String())
+	}
+	var resp explainResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Estimates) != 6 {
+		t.Errorf("estimates = %d, want 6", len(resp.Estimates))
+	}
+	w = postJSON(t, h, "/v1/explain", map[string]any{"dataset": "nope", "minSupport": 0.5, "minConfidence": 0.5})
+	if w.Code != http.StatusNotFound {
+		t.Errorf("unknown dataset: status = %d, want 404", w.Code)
+	}
+}
+
+func TestDatasetsEndpoint(t *testing.T) {
+	s, reg := newTestServer(t, Config{})
+	_ = reg
+	h := s.Handler()
+	req := httptest.NewRequest("GET", "/v1/datasets", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var resp struct {
+		Datasets []DatasetInfo `json:"datasets"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Datasets) != 1 || resp.Datasets[0].Name != "salary" {
+		t.Fatalf("datasets = %+v", resp.Datasets)
+	}
+	d := resp.Datasets[0]
+	if d.Records == 0 || len(d.Attributes) == 0 || d.Partitions == 0 || d.Generation != 1 {
+		t.Errorf("dataset info incomplete: %+v", d)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	metrics := colarm.NewMetricsRegistry()
+	s, _ := newTestServer(t, Config{EngineMetrics: metrics})
+	h := s.Handler()
+
+	decodeMine(t, postJSON(t, h, "/v1/mine", seattleQuery))
+	decodeMine(t, postJSON(t, h, "/v1/mine", seattleQuery))
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"colarm_cache_hits_total 1",
+		"colarm_cache_misses_total 1",
+		"colarm_http_requests_total",
+		"colarm_admission_admitted_total 1",
+		"colarm_queries_total", // engine-side metric from the shared registry
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestOverloadReturns429 fills every slot and the whole queue, then
+// checks the next request is turned away immediately.
+func TestOverloadReturns429(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: -1, QueueWait: 50 * time.Millisecond})
+	h := s.Handler()
+
+	// Occupy the only slot from outside a request.
+	if err := s.adm.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.adm.release()
+
+	body := map[string]any{}
+	for k, v := range seattleQuery {
+		body[k] = v
+	}
+	body["noCache"] = true
+	w := postJSON(t, h, "/v1/mine", body)
+	if w.Code != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429 (body: %s)", w.Code, w.Body.String())
+	}
+	if s.adm.rejected.Value() == 0 {
+		t.Error("rejected counter not incremented")
+	}
+}
+
+func TestAdmissionQueueing(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := newAdmission(1, 4, time.Second, reg)
+
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// A queued waiter gets the slot when it frees.
+	got := make(chan error, 1)
+	go func() { got <- a.acquire(context.Background()) }()
+	time.Sleep(10 * time.Millisecond)
+	a.release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	a.release()
+	if a.queued.Value() != 1 {
+		t.Errorf("queued counter = %d, want 1", a.queued.Value())
+	}
+
+	// Queue-wait expiry is errOverloaded, not a context error.
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	b := newAdmission(1, 4, 20*time.Millisecond, reg)
+	if err := b.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.acquire(context.Background()); !errors.Is(err, errOverloaded) {
+		t.Errorf("queue-wait expiry = %v, want errOverloaded", err)
+	}
+	// The caller's own cancellation propagates as ctx.Err().
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.acquire(ctx) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled acquire = %v, want context.Canceled", err)
+	}
+	a.release()
+	b.release()
+}
+
+func TestAdmissionConcurrentBound(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := newAdmission(2, 64, time.Second, reg)
+	var (
+		mu      sync.Mutex
+		cur, mx int
+		wg      sync.WaitGroup
+	)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := a.acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			cur++
+			if cur > mx {
+				mx = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			a.release()
+		}()
+	}
+	wg.Wait()
+	if mx > 2 {
+		t.Errorf("max concurrency = %d, want <= 2", mx)
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	reg := NewRegistry()
+	if _, _, err := reg.Get("nope"); err == nil {
+		t.Error("unknown dataset must error")
+	}
+}
+
+func mineResult(rules int) *colarm.Result {
+	res := &colarm.Result{
+		Stats: colarm.Stats{Plan: colarm.SEV, SubsetSize: 7, MinSupportCount: 3, SupportChecks: 99},
+	}
+	for i := 0; i < rules; i++ {
+		res.Rules = append(res.Rules, colarm.Rule{
+			Antecedent: []string{fmt.Sprintf("A=%d", i)},
+			Consequent: []string{"B=1"},
+			Support:    0.5,
+		})
+	}
+	return res
+}
+
+func TestCacheCopiesAndCounters(t *testing.T) {
+	c := newResultCache(64, 0, obs.NewRegistry())
+	c.put("k", mineResult(2))
+
+	got := c.get("k")
+	if got == nil {
+		t.Fatal("miss after put")
+	}
+	if got.Stats.SupportChecks != 0 {
+		t.Errorf("cached stats kept operator counter %d", got.Stats.SupportChecks)
+	}
+	if got.Stats.Plan != colarm.SEV || got.Stats.SubsetSize != 7 || got.Stats.MinSupportCount != 3 {
+		t.Errorf("cache lost execution identity: %+v", got.Stats)
+	}
+	// Mutating a hit must not corrupt the stored copy.
+	got.Rules[0].Antecedent[0] = "corrupted"
+	again := c.get("k")
+	if again.Rules[0].Antecedent[0] != "A=0" {
+		t.Error("cache handed out shared rule storage")
+	}
+	if c.hits.Value() != 2 || c.misses.Value() != 0 {
+		t.Errorf("hits=%d misses=%d, want 2/0", c.hits.Value(), c.misses.Value())
+	}
+	if c.get("absent") != nil {
+		t.Error("absent key returned a result")
+	}
+	if c.misses.Value() != 1 {
+		t.Errorf("misses = %d, want 1", c.misses.Value())
+	}
+}
+
+func TestCacheTTL(t *testing.T) {
+	c := newResultCache(64, 10*time.Millisecond, obs.NewRegistry())
+	c.put("k", mineResult(1))
+	if c.get("k") == nil {
+		t.Fatal("entry expired immediately")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if c.get("k") != nil {
+		t.Error("entry outlived its TTL")
+	}
+	if c.evictions.Value() != 1 {
+		t.Errorf("evictions = %d, want 1 (TTL drop)", c.evictions.Value())
+	}
+	if c.len() != 0 {
+		t.Errorf("len = %d after TTL eviction, want 0", c.len())
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	// Capacity 16 = one entry per shard: a second entry in any shard
+	// evicts that shard's older one.
+	c := newResultCache(16, 0, obs.NewRegistry())
+	for i := 0; i < 64; i++ {
+		c.put(fmt.Sprintf("key-%d", i), mineResult(1))
+	}
+	if c.len() > 16 {
+		t.Errorf("len = %d, want <= 16", c.len())
+	}
+	if c.evictions.Value() != int64(64-c.len()) {
+		t.Errorf("evictions = %d, want %d", c.evictions.Value(), 64-c.len())
+	}
+
+	// LRU order: touch a key, add a colliding one, the touched key stays.
+	d := newResultCache(cacheShardCount*2, 0, obs.NewRegistry())
+	shard0 := []string{}
+	for i := 0; len(shard0) < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if d.shard(k) == &d.shards[0] {
+			shard0 = append(shard0, k)
+		}
+	}
+	d.put(shard0[0], mineResult(1))
+	d.put(shard0[1], mineResult(1))
+	d.get(shard0[0]) // now most recently used
+	d.put(shard0[2], mineResult(1))
+	if d.get(shard0[0]) == nil {
+		t.Error("recently used entry was evicted")
+	}
+	if d.get(shard0[1]) != nil {
+		t.Error("least recently used entry survived eviction")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(128, time.Minute, obs.NewRegistry())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("key-%d", i%32)
+				if i%3 == 0 {
+					c.put(k, mineResult(2))
+				} else if res := c.get(k); res != nil {
+					res.Rules[0].Antecedent[0] = "scribble" // must not race with the stored copy
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestConcurrentMineRequests(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxInFlight: 4, MaxQueue: 64, QueueWait: 10 * time.Second})
+	h := s.Handler()
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			body := map[string]any{
+				"dataset":       "salary",
+				"range":         map[string][]string{"Location": {"Seattle"}},
+				"minSupport":    0.5,
+				"minConfidence": 0.5,
+				"noCache":       g%2 == 0, // mix cached and uncached paths
+			}
+			w := postJSON(t, h, "/v1/mine", body)
+			if w.Code != http.StatusOK {
+				t.Errorf("status = %d: %s", w.Code, w.Body.String())
+			}
+		}(g)
+	}
+	wg.Wait()
+}

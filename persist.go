@@ -69,6 +69,6 @@ func engineFromIndex(idx *mip.Index, opts Options) (*Engine, error) {
 	model := cost.NewModel(idx, units)
 	model.Mode = mode
 	eng := &core.Engine{Index: idx, Executor: ex, Model: model}
-	eng.InitObservability(idx.Dataset.Name, nil, opts.AccuracyTolerance)
+	eng.InitObservability(idx.Dataset.Name, opts.Metrics.registry(), opts.AccuracyTolerance)
 	return &Engine{eng: eng, ds: &Dataset{rel: idx.Dataset}, trackAccuracy: opts.TrackAccuracy}, nil
 }
