@@ -23,6 +23,17 @@
 //	-clients N    client goroutines (default GOMAXPROCS)
 //	-queries N    queries per client in the N-client rows (default 8)
 //
+// -ingest runs the mixed read/write benchmark for the live-ingestion
+// subsystem: the same read workload is replayed against the fresh
+// index, again while a writer streams ingest batches into the delta
+// store (reads pay the merged base+delta view), and once more after
+// the index rebuild — making the staleness tax, the refresh policy's
+// own overhead estimate and the rebuild payoff visible side by side:
+//
+//	-ingest           run the mixed read/write benchmark
+//	-ingest-batches N ingest batches in the mixed phase (default 16)
+//	-batch-rows N     rows per ingest batch (default 32)
+//
 // Observability flags:
 //
 //	-metrics ADDR       serve engine metrics (Prometheus text format) at
@@ -66,23 +77,26 @@ func main() {
 		runs       = flag.Int("runs", 3, "random focal subsets per scenario")
 		seed       = flag.Int64("seed", 1, "dataset generator seed")
 		concurrent = flag.Bool("concurrent", false, "run the concurrent-clients serving benchmark")
-		clients    = flag.Int("clients", runtime.GOMAXPROCS(0), "client goroutines for -concurrent")
-		queries    = flag.Int("queries", 8, "queries per client for -concurrent")
+		clients    = flag.Int("clients", runtime.GOMAXPROCS(0), "client goroutines for -concurrent and -ingest")
+		queries    = flag.Int("queries", 8, "queries per client for -concurrent and -ingest")
+		ingest     = flag.Bool("ingest", false, "run the mixed read/write (live ingestion) benchmark")
+		batches    = flag.Int("ingest-batches", 16, "ingest batches in the -ingest mixed phase")
+		batchRows  = flag.Int("batch-rows", 32, "rows per ingest batch for -ingest")
 		metrics    = flag.String("metrics", "", "serve /metrics and /debug/pprof/ at this address during the run")
 		accOnline  = flag.Bool("accuracy-online", false, "measure plan-choice accuracy via traced queries + all-plan replay")
 		accQueries = flag.Int("accuracy-queries", 120, "traced queries for -accuracy-online")
 	)
 	flag.Parse()
 	if err := run(*fig, *table, *all, *full, *runs, *seed, *concurrent, *clients, *queries,
-		*metrics, *accOnline, *accQueries); err != nil {
+		*ingest, *batches, *batchRows, *metrics, *accOnline, *accQueries); err != nil {
 		fmt.Fprintln(os.Stderr, "colarm-bench:", err)
 		os.Exit(1)
 	}
 }
 
 func run(fig int, table string, all, full bool, runs int, seed int64, concurrent bool, clients, perClient int,
-	metricsAddr string, accOnline bool, accQueries int) error {
-	if fig == 0 && table == "" && !concurrent && !accOnline {
+	ingest bool, batches, batchRows int, metricsAddr string, accOnline bool, accQueries int) error {
+	if fig == 0 && table == "" && !concurrent && !ingest && !accOnline {
 		all = true
 	}
 	// Ctrl-C aborts the query mid-operator instead of waiting out a
@@ -261,6 +275,25 @@ func run(fig int, table string, all, full bool, runs int, seed int64, concurrent
 				return err
 			}
 			bench.PrintConcurrent(os.Stdout, name, rows)
+		}
+	}
+
+	// Mixed read/write (live ingestion) benchmark. Run on demand only —
+	// it leaves each engine's delta store populated, so it is kept out
+	// of -all and ordered after the paper artifacts.
+	if ingest {
+		for _, name := range datasets {
+			e, err := env(name)
+			if err != nil {
+				return err
+			}
+			spec := e.Spec
+			res, err := e.RunIngestMix(clients, perClient, batches, batchRows,
+				spec.MinSupps[0], spec.MinConfs[0], seed+600)
+			if err != nil {
+				return err
+			}
+			bench.PrintIngest(os.Stdout, res)
 		}
 	}
 

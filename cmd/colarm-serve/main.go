@@ -27,9 +27,15 @@
 //	-cache-entries N  result-cache capacity (default 4096, -1 disables)
 //	-cache-ttl D      result-cache entry lifetime (default 5m)
 //
-// Endpoints: POST /v1/mine, POST /v1/explain, GET /v1/datasets,
-// GET /metrics, GET /debug/pprof/. See the README's Serving section for
-// request examples.
+// Endpoints: POST /v1/mine, POST /v1/explain, POST /v1/ingest,
+// GET /v1/datasets, GET /metrics, GET /debug/pprof/. Ingested
+// transactions are buffered in each engine's delta store and merged
+// into every subsequent answer (queries stay exact while the index
+// ages); when the accumulated delta overhead crosses the rebuild cost,
+// the server rebuilds the index in the background and swaps it in,
+// bumping the dataset's generation. Wrong-method requests on /v1
+// routes get a JSON 405 with an Allow header. See the README's Serving
+// and Ingestion sections for request examples.
 package main
 
 import (

@@ -274,6 +274,8 @@ type Engine struct {
 	eng           *core.Engine
 	ds            *Dataset
 	trackAccuracy bool
+	opts          Options
+	gen           uint64
 }
 
 // Open runs the offline preprocessing phase over the dataset and
@@ -303,7 +305,7 @@ func Open(ds *Dataset, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{eng: eng, ds: ds, trackAccuracy: opts.TrackAccuracy}, nil
+	return &Engine{eng: eng, ds: ds, trackAccuracy: opts.TrackAccuracy, opts: opts}, nil
 }
 
 // NumPartitions returns the number of prestored multidimensional

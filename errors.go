@@ -20,4 +20,11 @@ var (
 	ErrBadThreshold = qerr.ErrBadThreshold
 	// ErrUnknownPlan marks an unresolvable plan name or Plan value.
 	ErrUnknownPlan = qerr.ErrUnknownPlan
+	// ErrBadRecordID marks an Ingest delete targeting a record id
+	// outside the engine's current id space.
+	ErrBadRecordID = qerr.ErrBadRecordID
+	// ErrSnapshotVersion marks a LoadEngine stream that is not a
+	// snapshot of this build's format version (an older/newer COLARM
+	// snapshot, or a foreign file).
+	ErrSnapshotVersion = qerr.ErrSnapshotVersion
 )

@@ -1,0 +1,136 @@
+package colarm
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"colarm/internal/delta"
+)
+
+// Staleness reports how far an engine's base index has drifted from the
+// dataset it answers queries over. Queries remain exact at any
+// staleness — buffered transactions are merged into every answer — but
+// each one pays a delta overhead, and once that accumulated overhead
+// crosses the amortized cost of a rebuild, Rebuild is the cheaper path.
+type Staleness struct {
+	// BufferedRows counts records inserted since the index was built
+	// (minus any that were deleted again).
+	BufferedRows int
+	// Tombstones counts records deleted since the index was built.
+	Tombstones int
+	// Version increments on every accepted Ingest batch; 0 means the
+	// index is fresh.
+	Version uint64
+	// Generation counts full rebuilds since the engine was opened.
+	Generation uint64
+	// Overhead is the accumulated estimated extra query cost paid to
+	// the delta since the last build.
+	Overhead time.Duration
+	// RebuildCost is the amortized one-rebuild cost the overhead is
+	// weighed against (measured from the last build).
+	RebuildCost time.Duration
+	// RebuildRecommended reports that buffering now costs more than
+	// rebuilding: the cost-based refresh policy's break-even point.
+	RebuildRecommended bool
+}
+
+// Ingest buffers live transactions — inserts and deletes — without
+// rebuilding the index. Each insert maps every attribute name to a
+// value label from the frozen vocabulary (ingest cannot introduce new
+// attributes or values; that requires building a new engine from raw
+// data). Deletes name record ids: 0..NumRecords()-1 for base records,
+// then ids assigned to inserts in arrival order; a deleted id is never
+// reused. The batch is atomic — it is validated in full and either
+// applied entirely or rejected without effect.
+//
+// Subsequent queries answer over the merged dataset exactly, at a small
+// per-query overhead; the returned Staleness reports the accumulated
+// drift and whether a Rebuild now pays for itself.
+func (e *Engine) Ingest(inserts []map[string]string, deletes []int) (Staleness, error) {
+	return e.IngestContext(context.Background(), inserts, deletes)
+}
+
+// IngestContext is Ingest under a context. Buffering is cheap (no
+// mining happens), so the context is only consulted at entry.
+func (e *Engine) IngestContext(ctx context.Context, inserts []map[string]string, deletes []int) (Staleness, error) {
+	if err := ctx.Err(); err != nil {
+		return e.Staleness(), err
+	}
+	rows, err := e.resolveRows(inserts)
+	if err != nil {
+		return e.Staleness(), err
+	}
+	st, err := e.eng.Ingest(rows, deletes)
+	return e.wrapStaleness(st), err
+}
+
+// resolveRows maps label-form records onto value-index rows, rejecting
+// anything outside the engine's frozen vocabulary.
+func (e *Engine) resolveRows(inserts []map[string]string) ([][]int32, error) {
+	rel := e.ds.rel
+	n := rel.NumAttrs()
+	rows := make([][]int32, 0, len(inserts))
+	for i, rec := range inserts {
+		row := make([]int32, n)
+		seen := make([]bool, n)
+		for name, label := range rec {
+			ai := rel.AttrIndex(name)
+			if ai < 0 {
+				return nil, fmt.Errorf("colarm: insert %d: %w: %q", i, ErrUnknownAttribute, name)
+			}
+			v := rel.Attrs[ai].ValueIndex(label)
+			if v < 0 {
+				return nil, fmt.Errorf("colarm: insert %d: %w: attribute %q has no value %q", i, ErrUnknownValue, name, label)
+			}
+			row[ai], seen[ai] = int32(v), true
+		}
+		for ai := 0; ai < n; ai++ {
+			if !seen[ai] {
+				return nil, fmt.Errorf("colarm: insert %d: missing attribute %q", i, rel.Attrs[ai].Name)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Staleness reports the engine's current drift from its merged dataset.
+func (e *Engine) Staleness() Staleness {
+	return e.wrapStaleness(e.eng.Staleness())
+}
+
+func (e *Engine) wrapStaleness(st delta.Staleness) Staleness {
+	return Staleness{
+		BufferedRows:       st.BufferedRows,
+		Tombstones:         st.Tombstones,
+		Version:            st.Version,
+		Generation:         e.gen,
+		Overhead:           st.Overhead,
+		RebuildCost:        st.RebuildCost,
+		RebuildRecommended: st.RebuildRecommended,
+	}
+}
+
+// Generation counts full rebuilds since the engine was opened (0 for a
+// freshly opened engine).
+func (e *Engine) Generation() uint64 { return e.gen }
+
+// Rebuild runs the offline phase over the merged dataset — base records
+// minus deletions plus buffered inserts — and returns a fresh engine
+// with an empty delta and an incremented generation. The receiver is
+// left untouched and stays fully queryable, so callers can rebuild in
+// the background and swap engines atomically when done.
+func (e *Engine) Rebuild(ctx context.Context) (*Engine, error) {
+	fresh, err := e.eng.Rebuild(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		eng:           fresh,
+		ds:            &Dataset{rel: fresh.Index.Dataset},
+		trackAccuracy: e.trackAccuracy,
+		opts:          e.opts,
+		gen:           e.gen + 1,
+	}, nil
+}

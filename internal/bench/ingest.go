@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"colarm/internal/core"
+	"colarm/internal/plans"
+)
+
+// IngestResult summarizes one mixed read/write run: a read workload
+// replayed against a fresh engine, then replayed again while a writer
+// streams ingest batches into the delta store (the stale regime the
+// refresh policy prices), and once more after the cost-based rebuild.
+// The three read-latency columns make the staleness tax and the rebuild
+// payoff directly visible next to the policy's own overhead estimate.
+type IngestResult struct {
+	Dataset string
+	Clients int
+
+	Reads   int // read queries per phase
+	Batches int // ingest batches applied in the mixed phase
+	Rows    int // rows ingested
+	Deletes int // tombstones written
+
+	// Read latencies per phase: fresh index, index+delta, rebuilt index.
+	FreshP50, FreshP99     time.Duration
+	StaleP50, StaleP99     time.Duration
+	RebuiltP50, RebuiltP99 time.Duration
+	// Write (ingest batch) latencies during the mixed phase.
+	WriteP50, WriteP99 time.Duration
+
+	// Refresh-policy state after the mixed phase, and the measured cost
+	// of the rebuild it prices.
+	BufferedRows       int
+	Tombstones         int
+	Overhead           time.Duration
+	RebuildCost        time.Duration
+	RebuildRecommended bool
+	RebuildDuration    time.Duration
+}
+
+// RunIngestMix measures the live-ingestion regime end to end. Three
+// phases over one engine:
+//
+//  1. baseline — clients goroutines replay a pre-generated read
+//     workload against the fresh index;
+//  2. mixed — the identical read workload replays while one writer
+//     applies `batches` ingest batches of `batchRows` rows (sampled
+//     from the base dataset, with occasional tombstone deletes), so
+//     reads pay the merged base+delta view;
+//  3. rebuilt — the delta is folded into a fresh index (timed) and the
+//     read workload replays once more against it.
+//
+// Regions are built against the frozen item space, which ingestion
+// preserves, so the same queries are valid in every phase.
+func (e *Env) RunIngestMix(clients, perClient, batches, batchRows int, minSupp, minConf float64, seed int64) (IngestResult, error) {
+	if clients < 1 || perClient < 1 || batches < 1 || batchRows < 1 {
+		return IngestResult{}, fmt.Errorf("bench: clients (%d), reads per client (%d), batches (%d) and batch rows (%d) must be positive",
+			clients, perClient, batches, batchRows)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := clients * perClient
+	queries := make([]*plans.Query, total)
+	for i := range queries {
+		frac := e.Spec.DQFracs[i%len(e.Spec.DQFracs)]
+		queries[i] = e.QueryFor(e.RandomFocalSubset(rng, frac), minSupp, minConf)
+	}
+	// Untimed warm-up, as in the concurrent-clients benchmark.
+	if _, _, err := e.Engine.Mine(queries[0]); err != nil {
+		return IngestResult{}, err
+	}
+
+	res := IngestResult{Dataset: e.Spec.Name, Clients: clients, Reads: total, Batches: batches}
+
+	fresh, err := replayReads(e.Engine, queries, clients, nil)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	res.FreshP50, res.FreshP99 = percentile(fresh, 50), percentile(fresh, 99)
+
+	// Mixed phase: the writer streams batches while readers replay. The
+	// writer samples rows from the base dataset (the frozen vocabulary
+	// guarantees they are valid) and tombstones a few base records.
+	wrng := rand.New(rand.NewSource(seed + 1))
+	writer := func() error {
+		writeLat := make([]time.Duration, 0, batches)
+		deleted := make(map[int]bool)
+		for b := 0; b < batches; b++ {
+			rows := make([][]int32, batchRows)
+			for i := range rows {
+				r := wrng.Intn(e.Dataset.NumRecords())
+				row := make([]int32, e.Dataset.NumAttrs())
+				for a := range row {
+					row[a] = int32(e.Dataset.Value(r, a))
+				}
+				rows[i] = row
+			}
+			var dels []int
+			if wrng.Intn(2) == 0 {
+				id := wrng.Intn(e.Dataset.NumRecords())
+				if !deleted[id] {
+					deleted[id] = true
+					dels = append(dels, id)
+				}
+			}
+			t0 := time.Now()
+			if _, err := e.Engine.Ingest(rows, dels); err != nil {
+				return err
+			}
+			writeLat = append(writeLat, time.Since(t0))
+			res.Rows += batchRows
+			res.Deletes += len(dels)
+		}
+		sort.Slice(writeLat, func(i, j int) bool { return writeLat[i] < writeLat[j] })
+		res.WriteP50, res.WriteP99 = percentile(writeLat, 50), percentile(writeLat, 99)
+		return nil
+	}
+	stale, err := replayReads(e.Engine, queries, clients, writer)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	res.StaleP50, res.StaleP99 = percentile(stale, 50), percentile(stale, 99)
+
+	st := e.Engine.Staleness()
+	res.BufferedRows, res.Tombstones = st.BufferedRows, st.Tombstones
+	res.Overhead = st.Overhead
+	res.RebuildCost = st.RebuildCost
+	res.RebuildRecommended = st.RebuildRecommended
+
+	t0 := time.Now()
+	rebuilt, err := e.Engine.Rebuild(context.Background())
+	if err != nil {
+		return IngestResult{}, err
+	}
+	res.RebuildDuration = time.Since(t0)
+
+	after, err := replayReads(rebuilt, queries, clients, nil)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	res.RebuiltP50, res.RebuiltP99 = percentile(after, 50), percentile(after, 99)
+	return res, nil
+}
+
+// replayReads runs the read workload from `clients` goroutines against
+// eng, optionally racing a writer goroutine, and returns the sorted
+// read latencies.
+func replayReads(eng *core.Engine, queries []*plans.Query, clients int, writer func() error) ([]time.Duration, error) {
+	perClient := len(queries) / clients
+	latencies := make([]time.Duration, len(queries))
+	errs := make([]error, clients+1)
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				i := cl*perClient + j
+				t0 := time.Now()
+				if _, _, err := eng.Mine(queries[i]); err != nil {
+					errs[cl] = err
+					return
+				}
+				latencies[i] = time.Since(t0)
+			}
+		}(cl)
+	}
+	if writer != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[clients] = writer()
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	return latencies, nil
+}
+
+// PrintIngest renders one dataset's mixed read/write run.
+func PrintIngest(w io.Writer, res IngestResult) {
+	fmt.Fprintf(w, "\nIngest mix — %s (%d readers, %d reads/phase; %d batches, %d rows, %d deletes):\n",
+		res.Dataset, res.Clients, res.Reads, res.Batches, res.Rows, res.Deletes)
+	fmt.Fprintf(w, "  %-22s %12s %12s\n", "phase", "read p50", "read p99")
+	fmt.Fprintf(w, "  %-22s %12s %12s\n", "fresh index", res.FreshP50.Round(time.Microsecond), res.FreshP99.Round(time.Microsecond))
+	fmt.Fprintf(w, "  %-22s %12s %12s\n", "stale (base+delta)", res.StaleP50.Round(time.Microsecond), res.StaleP99.Round(time.Microsecond))
+	fmt.Fprintf(w, "  %-22s %12s %12s\n", "rebuilt", res.RebuiltP50.Round(time.Microsecond), res.RebuiltP99.Round(time.Microsecond))
+	fmt.Fprintf(w, "  ingest batch latency p50 %s, p99 %s\n",
+		res.WriteP50.Round(time.Microsecond), res.WriteP99.Round(time.Microsecond))
+	verdict := "below break-even"
+	if res.RebuildRecommended {
+		verdict = "rebuild recommended"
+	}
+	fmt.Fprintf(w, "  refresh policy: %d buffered rows, %d tombstones; overhead %s vs rebuild cost %s (%s)\n",
+		res.BufferedRows, res.Tombstones, res.Overhead.Round(time.Microsecond), res.RebuildCost.Round(time.Microsecond), verdict)
+	fmt.Fprintf(w, "  offline rebuild took %s\n", res.RebuildDuration.Round(time.Millisecond))
+}

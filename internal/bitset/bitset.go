@@ -89,6 +89,18 @@ func (s *Set) Clone() *Set {
 	return c
 }
 
+// CloneGrown returns an independent copy of s with capacity n >= Len().
+// The new ids [Len(), n) start absent. Used by the delta layer to extend
+// base tidsets over buffered record ids without rescanning the base.
+func (s *Set) CloneGrown(n int) *Set {
+	if n < s.n {
+		panic("bitset: CloneGrown capacity below current")
+	}
+	c := New(n)
+	copy(c.words, s.words)
+	return c
+}
+
 // Clear removes all ids from the set, keeping its capacity.
 func (s *Set) Clear() {
 	for i := range s.words {

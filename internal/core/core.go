@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"colarm/internal/cost"
+	"colarm/internal/delta"
 	"colarm/internal/mip"
 	"colarm/internal/obs"
 	"colarm/internal/plans"
@@ -53,16 +54,24 @@ type Options struct {
 
 // Engine is a ready-to-query COLARM instance over one dataset.
 //
-// An Engine is safe for concurrent use: Mine, MineWith, Explain and
-// BuildQuery may be called from any number of goroutines. The index is
-// immutable after construction, the executor keeps all query state
-// per-call, and the cost model's statistics are precomputed; the only
-// unsynchronized state is the configuration on the exported fields,
-// which must not be mutated while queries are in flight.
+// An Engine is safe for concurrent use: Mine, MineWith, Explain,
+// BuildQuery and Ingest may be called from any number of goroutines.
+// The index is immutable after construction, the executor keeps all
+// query state per-call, and the cost model's statistics are
+// precomputed; post-build mutability lives entirely in the delta store,
+// which synchronizes internally and hands queries immutable merged
+// views. The only unsynchronized state is the configuration on the
+// exported fields, which must not be mutated while queries are in
+// flight.
 type Engine struct {
 	Index    *mip.Index
 	Executor *plans.Executor
 	Model    *cost.Model
+	// Delta buffers transactions ingested after the index build and
+	// serves the merged execution view; queries stay exact while the
+	// base index ages. Always non-nil after NewEngine or
+	// InitObservability.
+	Delta *delta.Store
 
 	// Metrics is the engine's cumulative metrics registry (counters and
 	// latency histograms, Prometheus-renderable). Recording is atomic;
@@ -79,11 +88,22 @@ type Engine struct {
 	chosen       map[plans.Kind]*obs.Counter
 	evals        *obs.Counter
 	evalsCorrect *obs.Counter
+
+	ingestBatches  *obs.Counter
+	ingestRows     *obs.Counter
+	ingestDeletes  *obs.Counter
+	deltaQueries   *obs.Counter
+	rebuilds       *obs.Counter
+	rebuildSeconds *obs.Histogram
+
+	opts    Options
+	dataset string
 }
 
 // NewEngine runs the offline phase over the dataset and wires up the
 // online executor and optimizer.
 func NewEngine(d *relation.Dataset, opts Options) (*Engine, error) {
+	buildStart := time.Now()
 	idx, err := mip.Build(d, mip.Options{
 		PrimarySupport: opts.PrimarySupport,
 		Fanout:         opts.Fanout,
@@ -92,6 +112,7 @@ func NewEngine(d *relation.Dataset, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	buildDur := time.Since(buildStart)
 	units := cost.Units{}
 	if opts.CalibrateUnits {
 		units = cost.MeasureUnits(d.NumRecords(), d.NumAttrs())
@@ -105,9 +126,32 @@ func NewEngine(d *relation.Dataset, opts Options) (*Engine, error) {
 		Index:    idx,
 		Executor: ex,
 		Model:    model,
+		opts:     opts,
 	}
 	e.InitObservability(d.Name, opts.Metrics, opts.AccuracyTol)
+	e.Delta.SetRebuildCost(buildDur)
 	return e, nil
+}
+
+// Assemble wires an online engine around an existing index (typically
+// a deserialized snapshot), skipping the offline build.
+// opts.PrimarySupport should carry the fraction the index was mined at
+// so the delta store re-mines merged views at the same threshold; when
+// zero, InitObservability recovers an approximation from the stored
+// primary count.
+func Assemble(idx *mip.Index, opts Options) *Engine {
+	units := cost.Units{}
+	if opts.CalibrateUnits {
+		units = cost.MeasureUnits(idx.Dataset.NumRecords(), idx.Dataset.NumAttrs())
+	}
+	ex := plans.NewExecutor(idx)
+	ex.Mode = opts.CheckMode
+	ex.Workers = opts.Workers
+	model := cost.NewModel(idx, units)
+	model.Mode = opts.CheckMode
+	e := &Engine{Index: idx, Executor: ex, Model: model, opts: opts}
+	e.InitObservability(idx.Dataset.Name, opts.Metrics, opts.AccuracyTol)
+	return e
 }
 
 // InitObservability wires the engine's cumulative metrics and the
@@ -120,6 +164,19 @@ func (e *Engine) InitObservability(dataset string, reg *obs.Registry, accuracyTo
 		reg = obs.NewRegistry()
 	}
 	e.Metrics = reg
+	e.dataset = dataset
+	if e.Delta == nil {
+		primary := e.opts.PrimarySupport
+		if primary <= 0 && e.Index.Dataset.NumRecords() > 0 {
+			// Assembled engines (deserialized snapshots) may not carry
+			// the original fraction; recover it from the stored count so
+			// the merged view re-mines at the same threshold a rebuild
+			// would use.
+			primary = float64(e.Index.PrimaryCount) / float64(e.Index.Dataset.NumRecords())
+		}
+		e.Delta = delta.NewStore(e.Index, primary, e.Model.U)
+		e.Executor.ViewSource = e.Delta.View
+	}
 	e.Accuracy = obs.NewAccuracyTracker(accuracyTol)
 	labels := fmt.Sprintf("dataset=%q", dataset)
 	e.queries = reg.CounterWith("colarm_queries_total", labels,
@@ -140,6 +197,18 @@ func (e *Engine) InitObservability(dataset string, reg *obs.Registry, accuracyTo
 		"Plan choices scored against measured all-plan executions.")
 	e.evalsCorrect = reg.CounterWith("colarm_plan_choice_correct_total", labels,
 		"Scored plan choices that picked the empirically cheapest plan (within tolerance).")
+	e.ingestBatches = reg.CounterWith("colarm_ingest_batches_total", labels,
+		"Ingest batches accepted into the delta store.")
+	e.ingestRows = reg.CounterWith("colarm_ingest_rows_total", labels,
+		"Records inserted through live ingestion.")
+	e.ingestDeletes = reg.CounterWith("colarm_ingest_deletes_total", labels,
+		"Records tombstoned through live ingestion.")
+	e.deltaQueries = reg.CounterWith("colarm_delta_queries_total", labels,
+		"Queries answered through the merged base+delta view.")
+	e.rebuilds = reg.CounterWith("colarm_rebuilds_total", labels,
+		"Full index rebuilds absorbing the delta store.")
+	e.rebuildSeconds = reg.Histogram("colarm_rebuild_seconds", labels,
+		"Duration of full index rebuilds.", nil)
 }
 
 // observe records one executed query in the cumulative metrics.
@@ -151,6 +220,76 @@ func (e *Engine) observe(res *plans.Result, err error) {
 	}
 	e.rulesEmitted.Add(int64(res.Stats.RulesEmitted))
 	e.latency.Observe(res.Stats.Duration)
+}
+
+// noteDelta charges one successfully executed query's estimated delta
+// overhead to the refresh accumulator.
+func (e *Engine) noteDelta(q *plans.Query, err error) {
+	if err != nil || e.Delta.Empty() {
+		return
+	}
+	e.deltaQueries.Inc()
+	e.Delta.NoteQuery(attrsTouched(q))
+}
+
+// attrsTouched counts the attributes a query references — restricted
+// region dimensions plus permitted item attributes — the width of the
+// delta-side counting work the refresh policy prices.
+func attrsTouched(q *plans.Query) int {
+	if q.ItemAttrs == nil {
+		return q.Region.Dims()
+	}
+	n := 0
+	for d := 0; d < q.Region.Dims(); d++ {
+		if q.Region.Restricted(d) || q.ItemAttrs[d] {
+			n++
+		}
+	}
+	return n
+}
+
+// Ingest buffers a batch of inserts and tombstone deletes in the delta
+// store. Subsequent queries answer over the merged dataset exactly;
+// the returned staleness reports the accumulated drift and whether the
+// refresh policy now recommends a rebuild.
+func (e *Engine) Ingest(rows [][]int32, deletes []int) (delta.Staleness, error) {
+	st, err := e.Delta.Ingest(rows, deletes)
+	if err != nil {
+		return st, err
+	}
+	e.ingestBatches.Inc()
+	e.ingestRows.Add(int64(len(rows)))
+	e.ingestDeletes.Add(int64(len(deletes)))
+	return st, nil
+}
+
+// Staleness reports the engine's drift from the merged dataset.
+func (e *Engine) Staleness() delta.Staleness { return e.Delta.Staleness() }
+
+// Rebuild runs the offline phase over the merged dataset — base records
+// minus tombstones plus buffered inserts — and returns a fresh engine
+// with an empty delta, sharing this engine's metrics registry. The
+// receiver is untouched and remains queryable throughout, so a serving
+// layer can rebuild in the background and atomically swap engines when
+// done.
+func (e *Engine) Rebuild(ctx context.Context) (*Engine, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	merged, err := e.Delta.MergedDataset()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	opts := e.opts
+	opts.Metrics = e.Metrics
+	fresh, err := NewEngine(merged, opts)
+	if err != nil {
+		return nil, err
+	}
+	e.rebuilds.Inc()
+	e.rebuildSeconds.Observe(time.Since(start))
+	return fresh, nil
 }
 
 // Mine answers a localized mining query with the plan the COLARM
@@ -172,6 +311,7 @@ func (e *Engine) MineContext(ctx context.Context, q *plans.Query) (*plans.Result
 	e.chosen[kind].Inc()
 	res, err := e.Executor.RunContext(ctx, kind, q)
 	e.observe(res, err)
+	e.noteDelta(q, err)
 	if err != nil {
 		return nil, ests, err
 	}
@@ -187,6 +327,7 @@ func (e *Engine) MineWith(kind plans.Kind, q *plans.Query) (*plans.Result, error
 func (e *Engine) MineWithContext(ctx context.Context, kind plans.Kind, q *plans.Query) (*plans.Result, error) {
 	res, err := e.Executor.RunContext(ctx, kind, q)
 	e.observe(res, err)
+	e.noteDelta(q, err)
 	return res, err
 }
 

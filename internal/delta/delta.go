@@ -1,0 +1,415 @@
+// Package delta implements the live-ingestion subsystem: an
+// append-oriented store buffering transactions that arrive after the
+// MIP-index build (inserts plus tombstone deletes), the merged execution
+// view that keeps query answers exact while the base index ages, and the
+// cost-based refresh policy that decides when buffering has become more
+// expensive than rebuilding.
+//
+// # Exactness
+//
+// The frozen MIP-index cannot answer queries over the merged dataset by
+// itself: inserting or deleting records moves the primary-support
+// threshold (it is a fraction of the record count), can create closed
+// frequent itemsets the index never stored, can drop stored ones below
+// the threshold, shifts closure structure, and staleness the bounding
+// boxes that Lemma 4.5's contained-box shortcut relies on. No
+// per-query patching of base results is sound in general.
+//
+// The store therefore materializes, lazily and at most once per delta
+// version, a merged View built exactly the way a from-scratch rebuild
+// would build its index surface:
+//
+//  1. every per-item base tidset is copied and grown to the merged
+//     record-id capacity, tombstoned bits cleared, buffered bits added
+//     (this is the delta-side count pass, amortized over the version);
+//  2. CHARM re-mines the closed frequent itemsets over the merged
+//     tidsets at the merged primary-support count;
+//  3. the closed IT-tree and the MIP bounding boxes are rebuilt from
+//     the mining result with the same code the offline build uses.
+//
+// Record ids are stable: base records keep ids 0..N-1 (a tombstoned id
+// is never reused) and buffered inserts take N, N+1, ... in arrival
+// order. Every structure a plan consults — CFIs, supports, closures,
+// boxes, item tidsets, the raw-value accessor — is thus byte-equal in
+// content to the rebuild's, so all six plans return identical rules.
+// The only degradation is structural: the packed R-tree is not rebuilt,
+// so SEARCH falls back to a linear scan over the merged boxes. That
+// per-query overhead is precisely what the refresh policy charges.
+//
+// # Refresh policy
+//
+// Each query executed against a non-empty delta accrues an estimated
+// overhead, priced with the engine's calibrated cost units: a linear
+// box scan (BoxRel x CFIs x dims, replacing the logarithmic R-tree
+// descent) plus the delta-side counting work (IDProbe x buffered rows x
+// attributes touched). When the accumulated overhead crosses the
+// amortized cost of one rebuild — measured from the last build when
+// available, estimated from the dataset shape otherwise — the store
+// recommends a rebuild; the serving layer then rebuilds in the
+// background and atomically swaps the new engine generation in.
+package delta
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"colarm/internal/bitset"
+	"colarm/internal/charm"
+	"colarm/internal/cost"
+	"colarm/internal/itemset"
+	"colarm/internal/ittree"
+	"colarm/internal/mip"
+	"colarm/internal/plans"
+	"colarm/internal/qerr"
+	"colarm/internal/relation"
+)
+
+// Staleness describes how far an engine's base index has drifted from
+// the merged dataset, and what the drift is costing.
+type Staleness struct {
+	// BufferedRows counts live buffered inserts (dead ones excluded).
+	BufferedRows int
+	// Tombstones counts deleted records (base and buffered).
+	Tombstones int
+	// Version increments on every ingest batch; 0 means the index is
+	// fresh.
+	Version uint64
+	// Overhead is the accumulated estimated extra query cost paid to
+	// the delta since the last build.
+	Overhead time.Duration
+	// RebuildCost is the amortized cost of one index rebuild the
+	// overhead is weighed against.
+	RebuildCost time.Duration
+	// RebuildRecommended reports Overhead >= RebuildCost with a
+	// non-empty delta: buffering now costs more than rebuilding.
+	RebuildRecommended bool
+}
+
+// Store buffers post-build transactions for one engine and serves the
+// merged execution view. All methods are safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	idx     *mip.Index
+	primary float64
+	units   cost.Units
+
+	rows  [][]int32   // buffered inserts (value indices, one per attr)
+	dead  []bool      // dead[k]: buffered row k was later deleted
+	tombs *bitset.Set // tombstoned base record ids
+	ndead int
+
+	version  uint64
+	viewVer  uint64
+	view     *plans.View
+	overhead float64 // accumulated estimated delta overhead, nanos
+
+	// rebuildNanos is the measured duration of the last index build;
+	// when never measured, a shape-based estimate stands in.
+	rebuildNanos float64
+}
+
+// NewStore creates an empty delta store over a freshly built (or
+// loaded) index. primary is the index's primary-support fraction and
+// units the engine's calibrated cost units.
+func NewStore(idx *mip.Index, primary float64, units cost.Units) *Store {
+	return &Store{
+		idx:     idx,
+		primary: primary,
+		units:   units,
+		tombs:   bitset.New(idx.Dataset.NumRecords()),
+	}
+}
+
+// SetRebuildCost records the measured duration of the last full index
+// build, sharpening the refresh policy's break-even point.
+func (s *Store) SetRebuildCost(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d > 0 {
+		s.rebuildNanos = float64(d.Nanoseconds())
+	}
+}
+
+// Ingest appends a batch of inserts and applies a batch of deletes,
+// atomically bumping the delta version. Rows carry value indices (the
+// caller resolves labels against the frozen vocabulary); deletes name
+// record ids in the current id space. The batch is validated before any
+// mutation, so a rejected batch leaves the store unchanged.
+func (s *Store) Ingest(rows [][]int32, deletes []int) (Staleness, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.idx.Dataset
+	baseN, attrs := d.NumRecords(), d.NumAttrs()
+	for _, row := range rows {
+		if len(row) != attrs {
+			return s.stalenessLocked(), fmt.Errorf("delta: row has %d values, dataset has %d attributes", len(row), attrs)
+		}
+		for a, v := range row {
+			if int(v) < 0 || int(v) >= s.idx.Cards[a] {
+				return s.stalenessLocked(), fmt.Errorf("delta: %w: attribute %q value index %d outside [0,%d)",
+					qerr.ErrUnknownValue, d.Attrs[a].Name, v, s.idx.Cards[a])
+			}
+		}
+	}
+	limit := baseN + len(s.rows) + len(rows)
+	for _, id := range deletes {
+		if id < 0 || id >= limit {
+			return s.stalenessLocked(), fmt.Errorf("delta: %w: %d outside [0,%d)", qerr.ErrBadRecordID, id, limit)
+		}
+	}
+	for _, row := range rows {
+		cp := make([]int32, attrs)
+		copy(cp, row)
+		s.rows = append(s.rows, cp)
+		s.dead = append(s.dead, false)
+	}
+	for _, id := range deletes {
+		if id < baseN {
+			if !s.tombs.Contains(id) {
+				s.tombs.Add(id)
+			}
+		} else if k := id - baseN; !s.dead[k] {
+			s.dead[k] = true
+			s.ndead++
+		}
+	}
+	s.version++
+	return s.stalenessLocked(), nil
+}
+
+// Staleness reports the store's current drift.
+func (s *Store) Staleness() Staleness {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stalenessLocked()
+}
+
+func (s *Store) stalenessLocked() Staleness {
+	st := Staleness{
+		BufferedRows: len(s.rows) - s.ndead,
+		Tombstones:   s.tombs.Count() + s.ndead,
+		Version:      s.version,
+		Overhead:     time.Duration(s.overhead),
+		RebuildCost:  time.Duration(s.rebuildCostLocked()),
+	}
+	st.RebuildRecommended = s.version > 0 && s.overhead >= s.rebuildCostLocked()
+	return st
+}
+
+// Empty reports whether the store holds no buffered changes.
+func (s *Store) Empty() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version == 0
+}
+
+// View returns the merged execution view for the current delta version,
+// or nil when the store is empty (queries then run against the frozen
+// index directly). The view is built lazily, at most once per version,
+// and is immutable once returned.
+func (s *Store) View() *plans.View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.version == 0 {
+		return nil
+	}
+	if s.view == nil || s.viewVer != s.version {
+		s.view = s.buildViewLocked()
+		s.viewVer = s.version
+	}
+	return s.view
+}
+
+// buildViewLocked materializes the merged index surface. See the
+// package comment for the exactness argument.
+func (s *Store) buildViewLocked() *plans.View {
+	d, sp := s.idx.Dataset, s.idx.Space
+	baseN := d.NumRecords()
+	capN := baseN + len(s.rows)
+
+	live := bitset.New(capN)
+	live.Fill()
+	s.tombs.ForEach(func(r int) bool {
+		live.Remove(r)
+		return true
+	})
+	for k, gone := range s.dead {
+		if gone {
+			live.Remove(baseN + k)
+		}
+	}
+
+	// Merged per-item tidsets: the delta-side count pass, amortized
+	// over the delta version.
+	tids := make([]*bitset.Set, sp.NumItems())
+	for i, t := range s.idx.Tidsets {
+		g := t.CloneGrown(capN)
+		s.tombs.ForEach(func(r int) bool {
+			g.Remove(r)
+			return true
+		})
+		tids[i] = g
+	}
+	for k, row := range s.rows {
+		if s.dead[k] {
+			continue
+		}
+		r := baseN + k
+		for a, v := range row {
+			tids[sp.ItemOf(a, int(v))].Add(r)
+		}
+	}
+
+	// Re-mine at the merged primary-support count. A rebuild over the
+	// merged data would do exactly this, so the CFIs, supports and
+	// closure structure match it by construction.
+	minCount := charm.CountFor(s.primary, live.Count())
+	if minCount < 1 {
+		minCount = 1
+	}
+	res, err := charm.MineTidsets(tids, capN, minCount)
+	if err != nil {
+		// Unreachable with the validated inputs above (the only error
+		// path is minCount < 1, guarded).
+		panic(fmt.Sprintf("delta: merged mining failed: %v", err))
+	}
+	tree := ittree.Build(res, sp.NumItems())
+	boxes := make([]itemset.Box, len(res.Closed))
+	for id, c := range res.Closed {
+		boxes[id] = mip.BoundingBox(sp, s.idx.Cards, tids, c)
+	}
+
+	rows := s.rows // append-only; elements are never mutated
+	return &plans.View{
+		Tree:       tree,
+		Boxes:      boxes,
+		Tidsets:    tids,
+		NumRecords: capN,
+		Live:       live,
+		Skip:       func(r int) bool { return !live.Contains(r) },
+		Value: func(r, a int) int {
+			if r < baseN {
+				return d.Value(r, a)
+			}
+			return int(rows[r-baseN][a])
+		},
+	}
+}
+
+// NoteQuery charges one query's estimated delta overhead to the refresh
+// accumulator: the linear box scan that replaces the R-tree descent
+// plus the buffered-row counting work, priced with the calibrated
+// units. attrsTouched is the number of attributes the query's region
+// and item set reference (<=0 defaults to the full schema).
+func (s *Store) NoteQuery(attrsTouched int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.version == 0 {
+		return
+	}
+	dims := s.idx.Space.NumAttrs()
+	if attrsTouched <= 0 || attrsTouched > dims {
+		attrsTouched = dims
+	}
+	cfis := s.idx.ITTree.Size()
+	if s.view != nil {
+		cfis = s.view.Tree.Size()
+	}
+	buffered := len(s.rows) - s.ndead
+	s.overhead += s.units.BoxRel*float64(cfis)*float64(dims) +
+		s.units.IDProbe*float64(buffered)*float64(attrsTouched)
+}
+
+// ShouldRebuild reports whether the accumulated delta overhead has
+// reached the amortized rebuild cost.
+func (s *Store) ShouldRebuild() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version > 0 && s.overhead >= s.rebuildCostLocked()
+}
+
+// rebuildCostLocked returns the break-even threshold in nanos: the
+// measured last build when known, otherwise a shape-based estimate
+// (mining work grows with records x items; the constant is deliberately
+// coarse — it only sets the scale at which buffering stops paying).
+func (s *Store) rebuildCostLocked() float64 {
+	if s.rebuildNanos > 0 {
+		return s.rebuildNanos
+	}
+	d := s.idx.Dataset
+	est := s.units.WordOp * float64(d.NumRecords()) * float64(s.idx.Space.NumItems())
+	const floorNanos = 10e6 // never recommend rebuilding cheaper than 10ms
+	if est < floorNanos {
+		est = floorNanos
+	}
+	return est
+}
+
+// MergedDataset materializes the merged relation — base records minus
+// tombstones plus buffered inserts — for a full rebuild. Value
+// dictionaries are seeded from the frozen vocabulary in order, so the
+// rebuilt dataset keeps the same item space (ingest cannot introduce
+// new values; that always requires an offline rebuild from raw data).
+func (s *Store) MergedDataset() (*relation.Dataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.idx.Dataset
+	attrs := d.NumAttrs()
+	names := make([]string, attrs)
+	for a := 0; a < attrs; a++ {
+		names[a] = d.Attrs[a].Name
+	}
+	b := relation.NewBuilder(d.Name, names...)
+	for a := 0; a < attrs; a++ {
+		for _, label := range d.Attrs[a].Values {
+			b.AddValue(a, label)
+		}
+	}
+	idx := make([]int, attrs)
+	for r := 0; r < d.NumRecords(); r++ {
+		if s.tombs.Contains(r) {
+			continue
+		}
+		for a := 0; a < attrs; a++ {
+			idx[a] = d.Value(r, a)
+		}
+		if err := b.AddRecordIdx(idx...); err != nil {
+			return nil, err
+		}
+	}
+	for k, row := range s.rows {
+		if s.dead[k] {
+			continue
+		}
+		for a := 0; a < attrs; a++ {
+			idx[a] = int(row[a])
+		}
+		if err := b.AddRecordIdx(idx...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Snapshot returns deep copies of the buffered rows and the tombstoned
+// record ids, for persistence. Restoring them through Ingest on a
+// freshly loaded engine reproduces the store's state exactly.
+func (s *Store) Snapshot() (rows [][]int32, deletes []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rows = make([][]int32, 0, len(s.rows))
+	for _, row := range s.rows {
+		cp := make([]int32, len(row))
+		copy(cp, row)
+		rows = append(rows, cp)
+	}
+	deletes = s.tombs.IDs()
+	baseN := s.idx.Dataset.NumRecords()
+	for k, gone := range s.dead {
+		if gone {
+			deletes = append(deletes, baseN+k)
+		}
+	}
+	return rows, deletes
+}

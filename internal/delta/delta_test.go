@@ -1,0 +1,154 @@
+package delta
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"colarm/internal/cost"
+	"colarm/internal/mip"
+	"colarm/internal/qerr"
+	"colarm/internal/relation"
+)
+
+func testIndex(t *testing.T) *mip.Index {
+	t.Helper()
+	b := relation.NewBuilder("t", "A", "B")
+	rows := [][]string{
+		{"a0", "b0"}, {"a0", "b1"}, {"a1", "b0"}, {"a1", "b1"},
+		{"a0", "b0"}, {"a0", "b0"}, {"a1", "b0"}, {"a0", "b1"},
+	}
+	for _, r := range rows {
+		if err := b.AddRecord(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx, err := mip.Build(b.Build(), mip.Options{PrimarySupport: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestStoreViewMergesRows(t *testing.T) {
+	idx := testIndex(t)
+	s := NewStore(idx, 0.2, cost.DefaultUnits())
+	if s.View() != nil {
+		t.Fatal("empty store must serve a nil view (frozen-index path)")
+	}
+	if _, err := s.Ingest([][]int32{{0, 0}, {1, 1}}, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	v := s.View()
+	if v == nil {
+		t.Fatal("non-empty store must serve a view")
+	}
+	baseN := idx.Dataset.NumRecords()
+	if v.NumRecords != baseN+2 {
+		t.Fatalf("view capacity %d, want %d", v.NumRecords, baseN+2)
+	}
+	if got := v.Live.Count(); got != baseN+2-1 {
+		t.Fatalf("live count %d, want %d", got, baseN+1)
+	}
+	if !v.Skip(2) || v.Skip(0) || v.Skip(baseN) {
+		t.Fatal("Skip does not reflect tombstones")
+	}
+	if v.Value(baseN, 0) != 0 || v.Value(baseN+1, 1) != 1 {
+		t.Fatal("Value does not resolve buffered rows")
+	}
+	// Tombstoned record 2 ("a1","b0") must be cleared from item tidsets;
+	// buffered rows must appear.
+	sp := idx.Space
+	if v.Tidsets[sp.ItemOf(0, 1)].Contains(2) {
+		t.Fatal("tombstoned record still in merged tidset")
+	}
+	if !v.Tidsets[sp.ItemOf(0, 0)].Contains(baseN) {
+		t.Fatal("buffered row missing from merged tidset")
+	}
+	// Same version → same cached view; new version → new view.
+	if s.View() != v {
+		t.Fatal("view not cached per version")
+	}
+	if _, err := s.Ingest(nil, []int{3}); err != nil {
+		t.Fatal(err)
+	}
+	if s.View() == v {
+		t.Fatal("view not invalidated on ingest")
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	idx := testIndex(t)
+	s := NewStore(idx, 0.2, cost.DefaultUnits())
+	if _, err := s.Ingest([][]int32{{0}}, nil); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if _, err := s.Ingest([][]int32{{0, 9}}, nil); !errors.Is(err, qerr.ErrUnknownValue) {
+		t.Fatalf("out-of-range value: got %v", err)
+	}
+	if _, err := s.Ingest(nil, []int{idx.Dataset.NumRecords()}); !errors.Is(err, qerr.ErrBadRecordID) {
+		t.Fatalf("delete past id space: got %v", err)
+	}
+	if !s.Empty() {
+		t.Fatal("rejected batches must leave the store empty")
+	}
+}
+
+func TestRefreshPolicyBreakEven(t *testing.T) {
+	idx := testIndex(t)
+	s := NewStore(idx, 0.2, cost.DefaultUnits())
+	s.SetRebuildCost(time.Microsecond)
+	// Fresh store never recommends a rebuild, whatever the accumulator
+	// would say.
+	s.NoteQuery(0)
+	if s.ShouldRebuild() {
+		t.Fatal("fresh store recommends rebuild")
+	}
+	if _, err := s.Ingest([][]int32{{0, 0}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64 && !s.ShouldRebuild(); i++ {
+		s.NoteQuery(2)
+	}
+	st := s.Staleness()
+	if !st.RebuildRecommended {
+		t.Fatalf("overhead never reached the 1µs break-even: %+v", st)
+	}
+	if st.Overhead < st.RebuildCost {
+		t.Fatalf("recommended rebuild with overhead %v < cost %v", st.Overhead, st.RebuildCost)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	idx := testIndex(t)
+	s := NewStore(idx, 0.2, cost.DefaultUnits())
+	if _, err := s.Ingest([][]int32{{0, 1}, {1, 0}}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(nil, []int{idx.Dataset.NumRecords()}); err != nil {
+		t.Fatal(err)
+	}
+	rows, dels := s.Snapshot()
+	r := NewStore(idx, 0.2, cost.DefaultUnits())
+	if _, err := r.Ingest(rows, dels); err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.Staleness(), r.Staleness()
+	if a.BufferedRows != b.BufferedRows || a.Tombstones != b.Tombstones {
+		t.Fatalf("snapshot round trip drifted: %+v vs %+v", a, b)
+	}
+	md, err := r.MergedDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := idx.Dataset.NumRecords() - 1 + 2 - 1
+	if md.NumRecords() != want {
+		t.Fatalf("merged dataset has %d records, want %d", md.NumRecords(), want)
+	}
+	// Dictionaries are preserved verbatim, so the item space is stable.
+	for ai, attr := range idx.Dataset.Attrs {
+		if got := md.Attrs[ai].Cardinality(); got != attr.Cardinality() {
+			t.Fatalf("attribute %q cardinality %d, want %d", attr.Name, got, attr.Cardinality())
+		}
+	}
+}

@@ -117,12 +117,20 @@ func assemble(d *relation.Dataset, sp *itemset.Space, tidsets []*bitset.Set, res
 // tidsets, so the cost is proportional to the located extent rather than
 // the support count.
 func (x *Index) boundingBox(c *charm.ClosedSet) itemset.Box {
-	n := x.Space.NumAttrs()
+	return BoundingBox(x.Space, x.Cards, x.Tidsets, c)
+}
+
+// BoundingBox is the box computation over arbitrary tidsets, shared with
+// the delta layer: the merge view recomputes boxes against tidsets that
+// extend over buffered record ids, so the boxes it produces are exactly
+// those a from-scratch rebuild over the merged data would compute.
+func BoundingBox(sp *itemset.Space, cards []int, tidsets []*bitset.Set, c *charm.ClosedSet) itemset.Box {
+	n := sp.NumAttrs()
 	b := itemset.NewBox(n)
 	constrained := make([]bool, n)
 	for _, it := range c.Items {
-		a := x.Space.AttrOf(it)
-		v := int32(x.Space.ValueOf(it))
+		a := sp.AttrOf(it)
+		v := int32(sp.ValueOf(it))
 		b.Lo[a], b.Hi[a] = v, v
 		constrained[a] = true
 	}
@@ -130,16 +138,16 @@ func (x *Index) boundingBox(c *charm.ClosedSet) itemset.Box {
 		if constrained[a] {
 			continue
 		}
-		card := x.Cards[a]
+		card := cards[a]
 		lo, hi := -1, -1
 		for v := 0; v < card; v++ {
-			if c.Tids.Intersects(x.Tidsets[x.Space.ItemOf(a, v)]) {
+			if c.Tids.Intersects(tidsets[sp.ItemOf(a, v)]) {
 				lo = v
 				break
 			}
 		}
 		for v := card - 1; v >= 0; v-- {
-			if c.Tids.Intersects(x.Tidsets[x.Space.ItemOf(a, v)]) {
+			if c.Tids.Intersects(tidsets[sp.ItemOf(a, v)]) {
 				hi = v
 				break
 			}

@@ -10,6 +10,7 @@ import (
 	"colarm/internal/charm"
 	"colarm/internal/itemset"
 	"colarm/internal/ittree"
+	"colarm/internal/qerr"
 	"colarm/internal/relation"
 	"colarm/internal/rtree"
 )
@@ -22,12 +23,32 @@ import (
 // tidsets, the packed R-tree, statistics) are rebuilt on load in
 // milliseconds, skipping the mining phase entirely.
 
-// snapshotMagic versions the serialization format.
-const snapshotMagic = "COLARM-MIP-v1"
+// snapshotMagic versions the serialization format. It is written as a
+// standalone gob string ahead of the payload, so a reader rejects
+// foreign files and other format versions from the first value alone —
+// a typed qerr.ErrSnapshotVersion instead of a garbled payload decode.
+//
+// v2 (this format) moved the magic out of the payload struct and added
+// engine-level metadata: the primary-support fraction, the engine
+// generation, and the live-ingestion delta (buffered rows and deletes),
+// so a snapshot taken mid-ingest restores to the exact same answers.
+const snapshotMagic = "COLARM-MIP-v2"
+
+// SnapshotMeta is the engine-level state a snapshot carries alongside
+// the index itself.
+type SnapshotMeta struct {
+	// Primary is the primary-support fraction the index was mined at;
+	// the delta store re-mines merged views at this same fraction.
+	Primary float64
+	// Generation counts the engine's rebuilds since the original build.
+	Generation uint64
+	// DeltaRows are the buffered post-build inserts (value indices).
+	DeltaRows [][]int32
+	// DeltaDels are the deleted record ids (base or buffered id space).
+	DeltaDels []int32
+}
 
 type snapshot struct {
-	Magic string
-
 	// Dataset.
 	Name  string
 	Attrs []snapAttr
@@ -39,6 +60,8 @@ type snapshot struct {
 	Packing      int
 	CFIs         []snapCFI
 	Boxes        []snapBox
+
+	Meta SnapshotMeta
 }
 
 type snapAttr struct {
@@ -56,15 +79,22 @@ type snapBox struct {
 	Lo, Hi []int32
 }
 
-// WriteTo serializes the index. The stream is self-contained: ReadIndex
-// restores a fully functional index without re-mining.
+// WriteTo serializes the index with empty engine metadata. The stream
+// is self-contained: ReadIndex restores a fully functional index
+// without re-mining.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	return x.WriteSnapshot(w, SnapshotMeta{})
+}
+
+// WriteSnapshot serializes the index plus engine-level metadata (see
+// SnapshotMeta); ReadSnapshot restores both.
+func (x *Index) WriteSnapshot(w io.Writer, meta SnapshotMeta) (int64, error) {
 	bw := &countingWriter{w: bufio.NewWriter(w)}
 	snap := snapshot{
-		Magic:        snapshotMagic,
 		Name:         x.Dataset.Name,
 		PrimaryCount: x.PrimaryCount,
 		Fanout:       x.RTree.Fanout(),
+		Meta:         meta,
 	}
 	for _, a := range x.Dataset.Attrs {
 		snap.Attrs = append(snap.Attrs, snapAttr{Name: a.Name, Values: a.Values})
@@ -89,7 +119,11 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 		snap.CFIs = append(snap.CFIs, snapCFI{Items: items, Tids: tids, Support: c.Support})
 		snap.Boxes = append(snap.Boxes, snapBox{Lo: x.Boxes[id].Lo, Hi: x.Boxes[id].Hi})
 	}
-	if err := gob.NewEncoder(bw).Encode(&snap); err != nil {
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(snapshotMagic); err != nil {
+		return bw.n, fmt.Errorf("mip: encoding snapshot magic: %w", err)
+	}
+	if err := enc.Encode(&snap); err != nil {
 		return bw.n, fmt.Errorf("mip: encoding snapshot: %w", err)
 	}
 	if err := bw.w.(*bufio.Writer).Flush(); err != nil {
@@ -101,13 +135,35 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 // ReadIndex restores an index written by WriteTo, rebuilding the
 // derived structures (item tidsets, packed R-tree, statistics).
 func ReadIndex(r io.Reader) (*Index, error) {
+	idx, _, err := ReadSnapshot(r)
+	return idx, err
+}
+
+// ReadSnapshot restores an index and its engine metadata. A stream that
+// is not a snapshot of exactly this format version — an older or newer
+// COLARM snapshot, or a foreign file — fails with
+// qerr.ErrSnapshotVersion before any payload decoding.
+func ReadSnapshot(r io.Reader) (*Index, SnapshotMeta, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var magic string
+	if err := dec.Decode(&magic); err != nil {
+		return nil, SnapshotMeta{}, fmt.Errorf("mip: %w: stream does not start with a snapshot version marker", qerr.ErrSnapshotVersion)
+	}
+	if magic != snapshotMagic {
+		return nil, SnapshotMeta{}, fmt.Errorf("mip: %w: snapshot is %q, this build reads %q", qerr.ErrSnapshotVersion, magic, snapshotMagic)
+	}
 	var snap snapshot
-	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("mip: decoding snapshot: %w", err)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, SnapshotMeta{}, fmt.Errorf("mip: decoding snapshot: %w", err)
 	}
-	if snap.Magic != snapshotMagic {
-		return nil, fmt.Errorf("mip: not a COLARM index snapshot (magic %q)", snap.Magic)
+	idx, err := decodeSnapshot(&snap)
+	if err != nil {
+		return nil, SnapshotMeta{}, err
 	}
+	return idx, snap.Meta, nil
+}
+
+func decodeSnapshot(snap *snapshot) (*Index, error) {
 	if len(snap.Attrs) == 0 {
 		return nil, fmt.Errorf("mip: snapshot has no attributes")
 	}

@@ -38,8 +38,16 @@ func (ex *Executor) runARM(ctx context.Context, q *Query) (*Result, error) {
 	idx := ex.Idx
 	d := idx.Dataset
 	sp := idx.Space
-	m := d.NumRecords()
+	m := c.records
 	n := d.NumAttrs()
+	// value resolves a record's raw value; with a live delta view it
+	// reaches buffered rows past the base table, and skip passes over
+	// tombstoned records (their ids are never reused).
+	value := d.Value
+	skip := func(int) bool { return false }
+	if c.view != nil {
+		value, skip = c.view.Value, c.view.Skip
+	}
 	tr := q.Trace
 	var t0 time.Time
 	if tr != nil {
@@ -63,9 +71,12 @@ func (ex *Executor) runARM(ctx context.Context, q *Query) (*Result, error) {
 		if err := c.cancelled(); err != nil {
 			return nil, err
 		}
+		if skip(r) {
+			continue
+		}
 		c.st.ARMRecordsScanned++
 		for a := 0; a < n; a++ {
-			point[a] = d.Value(r, a)
+			point[a] = value(r, a)
 		}
 		if !q.Region.ContainsPoint(point) {
 			continue

@@ -10,6 +10,7 @@ import (
 	"colarm/internal/bitset"
 	"colarm/internal/charm"
 	"colarm/internal/itemset"
+	"colarm/internal/ittree"
 	"colarm/internal/mip"
 	"colarm/internal/obs"
 	"colarm/internal/qerr"
@@ -77,6 +78,19 @@ type Executor struct {
 	// rules and operator counters alike — are identical for every
 	// worker count.
 	Workers int
+	// ViewSource, when non-nil, is consulted once per query for a merged
+	// delta view; a nil view (no buffered transactions) keeps the query
+	// on the frozen-index fast path. The source must be safe for
+	// concurrent calls.
+	ViewSource func() *View
+}
+
+// view resolves the per-query delta view, if any.
+func (ex *Executor) view() *View {
+	if ex.ViewSource == nil {
+		return nil
+	}
+	return ex.ViewSource()
 }
 
 // NewExecutor creates an executor over the given index.
@@ -159,6 +173,15 @@ type qctx struct {
 	minCount int
 	st       *Stats
 
+	// The index surface the query executes against: the frozen index, or
+	// the merged delta view resolved once at query start. All counting
+	// state (dq, tidsets, CFI tidsets) shares one record-id capacity.
+	view    *View // nil on the frozen-index fast path
+	tree    *ittree.Tree
+	boxes   []itemset.Box
+	tidsets []*bitset.Set
+	records int // record-id capacity
+
 	// localSupp caches CFI id → local support count (record-level check
 	// memoization across ELIMINATE's candidate occurrences).
 	localSupp map[int]int
@@ -185,21 +208,32 @@ func (c *qctx) cancelled() error {
 }
 
 func (ex *Executor) newCtx(ctx context.Context, q *Query) *qctx {
-	dq := ex.Idx.SubsetBitmap(q.Region)
-	size := dq.Count()
-	minCount := charm.CountFor(q.MinSupport, size)
 	c := &qctx{
 		ex:        ex,
 		q:         q,
 		ctx:       ctx,
 		done:      ctx.Done(),
 		mask:      q.itemMask(ex.Idx.Space.NumAttrs()),
-		dq:        dq,
 		workers:   ex.workers(),
-		minCount:  minCount,
-		st:        &Stats{SubsetSize: size, MinCount: minCount},
 		localSupp: make(map[int]int),
 	}
+	if v := ex.view(); v != nil {
+		// Merged delta view: the same surfaces, extended over the
+		// buffered record ids with tombstoned records cleared.
+		c.view = v
+		c.tree, c.boxes, c.tidsets, c.records = v.Tree, v.Boxes, v.Tidsets, v.NumRecords
+		c.dq = itemset.RegionTidset(q.Region, ex.Idx.Space, v.Tidsets, v.NumRecords)
+		// Unrestricted dimensions contribute a full bitmap; intersect
+		// with the live set so tombstoned records stay out of D^Q.
+		c.dq.And(v.Live)
+	} else {
+		c.tree, c.boxes, c.tidsets = ex.Idx.ITTree, ex.Idx.Boxes, ex.Idx.Tidsets
+		c.records = ex.Idx.Dataset.NumRecords()
+		c.dq = ex.Idx.SubsetBitmap(q.Region)
+	}
+	size := c.dq.Count()
+	c.minCount = charm.CountFor(q.MinSupport, size)
+	c.st = &Stats{SubsetSize: size, MinCount: c.minCount}
 	switch ex.Mode {
 	case ScanCheck:
 		c.scan = true
@@ -208,10 +242,10 @@ func (ex *Executor) newCtx(ctx context.Context, q *Query) *qctx {
 	default:
 		// A scan touches one word per subset record; a bitmap
 		// intersection touches every word of the universe once.
-		c.scan = size <= ex.Idx.Dataset.NumRecords()/32
+		c.scan = size <= c.records/32
 	}
 	if c.scan {
-		c.dqIDs = dq.IDs()
+		c.dqIDs = c.dq.IDs()
 	}
 	return c
 }
@@ -263,7 +297,30 @@ func (c *qctx) search(supported bool) ([]candidate, error) {
 		return true
 	}
 	var st rtree.SearchStats
-	if supported {
+	if c.view != nil {
+		// The R-tree indexes the pre-ingest boxes, so while a delta is
+		// live SEARCH degrades to a linear classification of the merged
+		// boxes. The emitted candidate set is identical to what a packed
+		// R-tree over the merged boxes would emit (both are exact); only
+		// the traversal cost differs, which is exactly the staleness
+		// overhead the refresh policy charges per query.
+		st.EntriesChecked = len(c.boxes)
+		for id, box := range c.boxes {
+			if err := c.cancelled(); err != nil {
+				return nil, err
+			}
+			if supported && c.tree.Set(id).Support < c.minCount {
+				continue
+			}
+			rel := c.q.Region.Relation(box)
+			if rel == itemset.Disjoint {
+				continue
+			}
+			if !visit(rtree.Entry{Box: box, ID: int32(id), Support: int32(c.tree.Set(id).Support)}, rel) {
+				break
+			}
+		}
+	} else if supported {
 		st = c.ex.Idx.RTree.SupportedSearch(c.q.Region, c.minCount, visit)
 	} else {
 		st = c.ex.Idx.RTree.Search(c.q.Region, visit)
@@ -328,7 +385,7 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) ([]qualified
 		t0 = time.Now()
 	}
 	shortcuts := 0 // contained MIPs resolved via Lemma 4.5, traced only
-	idx := c.ex.Idx
+	sp := c.ex.Idx.Space
 	seen := make(map[string]bool)
 	type entry struct {
 		id   int32
@@ -341,8 +398,8 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) ([]qualified
 		if err := c.cancelled(); err != nil {
 			return nil, err
 		}
-		full := idx.ITTree.Set(int(cd.id))
-		body, all := full.Items.RestrictedTo(idx.Space, c.mask)
+		full := c.tree.Set(int(cd.id))
+		body, all := full.Items.RestrictedTo(sp, c.mask)
 		if len(body) < 2 {
 			c.st.ItemFiltered++
 			continue
@@ -351,7 +408,7 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) ([]qualified
 		rel := cd.rel
 		if !all {
 			// Normalize the projection to its Aitem-closure.
-			id, ok := idx.ITTree.ClosureID(body)
+			id, ok := c.tree.ClosureID(body)
 			if !ok {
 				// Unreachable: a subset of a stored CFI is globally
 				// frequent at the primary support by monotonicity.
@@ -359,12 +416,12 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) ([]qualified
 				continue
 			}
 			cid = int32(id)
-			body, _ = idx.ITTree.Set(id).Items.RestrictedTo(idx.Space, c.mask)
+			body, _ = c.tree.Set(id).Items.RestrictedTo(sp, c.mask)
 			if len(body) < 2 {
 				c.st.ItemFiltered++
 				continue
 			}
-			rel = c.q.Region.Relation(idx.Boxes[id])
+			rel = c.q.Region.Relation(c.boxes[id])
 		}
 		if !all {
 			// Distinct CFIs are distinct bodies on the identity path;
@@ -380,7 +437,7 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) ([]qualified
 			// D^Q, so the global support IS the local one. (A cid already
 			// scheduled for a check keeps the check; both produce the
 			// same value, so the counters stay order-faithful.)
-			c.localSupp[int(cid)] = idx.ITTree.Set(int(cid)).Support
+			c.localSupp[int(cid)] = c.tree.Set(int(cid)).Support
 			shortcuts++
 		} else if _, done := c.localSupp[int(cid)]; !done && !scheduled[cid] {
 			scheduled[cid] = true
@@ -395,7 +452,7 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) ([]qualified
 	c.st.SupportChecks += len(checkIDs)
 	counts := make([]int, len(checkIDs))
 	used, err := parallelForCtx(c.ctx, len(checkIDs), c.workers, func(i int) {
-		counts[i] = c.countLocal(idx.ITTree.Set(int(checkIDs[i])).Tids)
+		counts[i] = c.countLocal(c.tree.Set(int(checkIDs[i])).Tids)
 	})
 	if err != nil {
 		return nil, err
@@ -447,7 +504,7 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) ([]qualified
 // whole-bitmap intersection. Reads only immutable index state plus the
 // query's frozen dqIDs/dq, so it is safe from concurrent workers.
 func (c *qctx) countItems(x itemset.Set) int {
-	tidsets := c.ex.Idx.Tidsets
+	tidsets := c.tidsets
 	if c.scan {
 		s := 0
 		for _, id := range c.dqIDs {

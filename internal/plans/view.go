@@ -1,0 +1,50 @@
+package plans
+
+import (
+	"colarm/internal/bitset"
+	"colarm/internal/itemset"
+	"colarm/internal/ittree"
+)
+
+// View is the index surface one query executes against when the engine
+// holds buffered post-build transactions (a live delta). It presents the
+// merged dataset — base records minus tombstones plus buffered inserts —
+// through the same shapes the frozen index exposes, so every plan
+// computes the exact answer a from-scratch rebuild over the merged data
+// would produce:
+//
+//   - Tree holds the closed frequent itemsets of the MERGED data at the
+//     merged primary-support count, with merged global supports and
+//     tidsets extending over the buffered record ids;
+//   - Boxes are the MIP bounding boxes recomputed over merged positions
+//     (so Lemma 4.5's contained-box shortcut remains sound);
+//   - Tidsets are the per-item tidsets with tombstoned records cleared
+//     and buffered records added.
+//
+// Only the packed R-tree is missing: (SUPPORTED-)SEARCH degrades to a
+// linear scan of the merged boxes — the per-query overhead the
+// cost-based refresh policy weighs against a rebuild. A View is an
+// immutable snapshot of one delta version; concurrent queries may share
+// it freely.
+type View struct {
+	// Tree is the merged closed IT-tree (CFIs of the merged data).
+	Tree *ittree.Tree
+	// Boxes[i] is the merged bounding box of CFI i (Tree ids).
+	Boxes []itemset.Box
+	// Tidsets maps each item to its merged tidset.
+	Tidsets []*bitset.Set
+	// NumRecords is the record-id capacity: base records (including
+	// tombstoned ones, whose ids are never reused) plus buffered rows.
+	NumRecords int
+	// Live flags the records that exist in the merged dataset; AND-ing
+	// it into a region bitmap drops tombstoned rows from unrestricted
+	// dimensions.
+	Live *bitset.Set
+	// Skip reports whether record id r is tombstoned (ARM's SELECT scan
+	// must pass over it).
+	Skip func(r int) bool
+	// Value returns the value index of record r at attribute a,
+	// resolving base ids against the base table and buffered ids
+	// against the delta store.
+	Value func(r, a int) int
+}

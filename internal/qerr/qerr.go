@@ -20,4 +20,11 @@ var (
 	ErrBadThreshold = errors.New("bad threshold")
 	// ErrUnknownPlan marks an unresolvable execution-plan name or kind.
 	ErrUnknownPlan = errors.New("unknown plan")
+	// ErrBadRecordID marks a delete targeting a record id outside the
+	// engine's current id space (base records plus buffered inserts).
+	ErrBadRecordID = errors.New("bad record id")
+	// ErrSnapshotVersion marks an index snapshot whose format version
+	// does not match this build — an older/newer COLARM snapshot or a
+	// foreign file — detected before any payload decoding.
+	ErrSnapshotVersion = errors.New("unsupported snapshot version")
 )

@@ -66,6 +66,12 @@ type DatasetInfo struct {
 	Attributes []string `json:"attributes"`
 	Partitions int      `json:"partitions"`
 	Generation uint64   `json:"generation"`
+
+	// Live-ingestion staleness: buffered post-build transactions and
+	// whether the cost-based refresh policy has reached break-even.
+	BufferedRows       int  `json:"bufferedRows"`
+	Tombstones         int  `json:"tombstones"`
+	RebuildRecommended bool `json:"rebuildRecommended"`
 }
 
 // List describes every registered engine, sorted by name.
@@ -75,12 +81,16 @@ func (r *Registry) List() []DatasetInfo {
 	out := make([]DatasetInfo, 0, len(r.byName))
 	for name, e := range r.byName {
 		ds := e.eng.Dataset()
+		st := e.eng.Staleness()
 		out = append(out, DatasetInfo{
-			Name:       name,
-			Records:    ds.NumRecords(),
-			Attributes: ds.Attributes(),
-			Partitions: e.eng.NumPartitions(),
-			Generation: e.gen,
+			Name:               name,
+			Records:            ds.NumRecords(),
+			Attributes:         ds.Attributes(),
+			Partitions:         e.eng.NumPartitions(),
+			Generation:         e.gen,
+			BufferedRows:       st.BufferedRows,
+			Tombstones:         st.Tombstones,
+			RebuildRecommended: st.RebuildRecommended,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -9,9 +9,26 @@
 //	POST /v1/mine      execute a query (JSON body, or a COLARM-QL
 //	                   statement as text/plain)
 //	POST /v1/explain   optimizer cost estimates without executing
-//	GET  /v1/datasets  registered datasets and their metadata
+//	POST /v1/ingest    buffer live inserts/deletes into a dataset's
+//	                   delta store; may trigger a background rebuild
+//	GET  /v1/datasets  registered datasets, their metadata and
+//	                   ingestion staleness
 //	GET  /metrics      Prometheus exposition: server + engine metrics
 //	GET  /debug/pprof  the standard Go profiling handlers
+//
+// A request with a wrong method on any /v1 route is answered with a
+// JSON 405 carrying an Allow header.
+//
+// Ingested transactions are merged into every subsequent answer, so
+// queries stay exact while the base index ages; when the accumulated
+// per-query delta overhead crosses the amortized rebuild cost (or the
+// client forces it), the server rebuilds the index in the background —
+// the old engine keeps serving throughout — and atomically swaps the
+// new engine into the registry. The swap bumps the dataset's
+// generation, which retires every cached result keyed under the old
+// one. While a dataset is rebuilding, further ingests for it are
+// rejected with 409 Conflict (they could land after the rebuild's
+// snapshot and be lost in the swap); queries are never blocked.
 package server
 
 import (
@@ -23,6 +40,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"colarm"
@@ -92,6 +110,20 @@ type Server struct {
 	requests map[string]*obs.Counter
 	errors   map[string]*obs.Counter
 	uncached *obs.Counter
+
+	rebuildsStarted *obs.Counter
+	rebuildsFailed  *obs.Counter
+
+	// ing serializes delta mutations against engine swaps: an ingest
+	// applies, and a rebuild starts or registers its result, only under
+	// this lock, so no accepted transaction can slip into an engine
+	// after its rebuild snapshot was taken. Ingestion is cheap (no
+	// mining), so one lock across datasets is fine at this scale; the
+	// expensive rebuild itself runs outside the lock.
+	ing struct {
+		sync.Mutex
+		rebuilding map[string]bool
+	}
 }
 
 // New assembles a server over the given engine registry.
@@ -108,10 +140,15 @@ func New(reg *Registry, cfg Config) *Server {
 		uncached: m.Counter("colarm_uncacheable_queries_total",
 			"Mined queries not stored in the result cache (traced or no-cache requests)."),
 	}
+	s.rebuildsStarted = m.Counter("colarm_server_rebuilds_started_total",
+		"Background index rebuilds started by the refresh policy or forced by clients.")
+	s.rebuildsFailed = m.Counter("colarm_server_rebuilds_failed_total",
+		"Background index rebuilds that failed (the old engine keeps serving).")
+	s.ing.rebuilding = make(map[string]bool)
 	if cfg.CacheEntries > 0 {
 		s.cache = newResultCache(cfg.CacheEntries, cfg.CacheTTL, m)
 	}
-	for _, ep := range []string{"mine", "explain", "datasets", "metrics"} {
+	for _, ep := range []string{"mine", "explain", "ingest", "datasets", "metrics"} {
 		labels := fmt.Sprintf("endpoint=%q", ep)
 		s.requests[ep] = m.CounterWith("colarm_http_requests_total", labels, "HTTP requests served, by endpoint.")
 		s.errors[ep] = m.CounterWith("colarm_http_request_errors_total", labels, "HTTP requests answered with a non-2xx status, by endpoint.")
@@ -124,7 +161,16 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/mine", s.handleMine)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	// Method-less fallbacks catch wrong-method requests on the API
+	// routes with a JSON 405 + Allow instead of the mux's plain-text
+	// default (the method patterns above are more specific and win for
+	// the allowed methods).
+	mux.HandleFunc("/v1/mine", s.methodNotAllowed("POST"))
+	mux.HandleFunc("/v1/explain", s.methodNotAllowed("POST"))
+	mux.HandleFunc("/v1/ingest", s.methodNotAllowed("POST"))
+	mux.HandleFunc("/v1/datasets", s.methodNotAllowed("GET"))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -404,6 +450,136 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	}{s.reg.List()})
 }
 
+// ingestRequest is the JSON body of /v1/ingest. Each insert maps every
+// attribute name to a value label from the dataset's frozen vocabulary;
+// deletes name record ids (base records first, then inserts in arrival
+// order). Rebuild selects the refresh policy for this request: "auto"
+// (default) rebuilds in the background when the cost model's break-even
+// point is reached, "force" always rebuilds, "never" only buffers.
+type ingestRequest struct {
+	Dataset string              `json:"dataset"`
+	Inserts []map[string]string `json:"inserts,omitempty"`
+	Deletes []int               `json:"deletes,omitempty"`
+	Rebuild string              `json:"rebuild,omitempty"`
+}
+
+type stalenessJSON struct {
+	BufferedRows       int    `json:"bufferedRows"`
+	Tombstones         int    `json:"tombstones"`
+	Version            uint64 `json:"version"`
+	OverheadNanos      int64  `json:"overheadNanos"`
+	RebuildCostNanos   int64  `json:"rebuildCostNanos"`
+	RebuildRecommended bool   `json:"rebuildRecommended"`
+}
+
+type ingestResponse struct {
+	Dataset    string        `json:"dataset"`
+	Inserted   int           `json:"inserted"`
+	Deleted    int           `json:"deleted"`
+	Generation uint64        `json:"generation"`
+	Staleness  stalenessJSON `json:"staleness"`
+	// RebuildStarted reports that this request kicked off a background
+	// rebuild; the dataset's generation bumps when it swaps in.
+	RebuildStarted bool `json:"rebuildStarted"`
+}
+
+func toStalenessJSON(st colarm.Staleness) stalenessJSON {
+	return stalenessJSON{
+		BufferedRows:       st.BufferedRows,
+		Tombstones:         st.Tombstones,
+		Version:            st.Version,
+		OverheadNanos:      st.Overhead.Nanoseconds(),
+		RebuildCostNanos:   st.RebuildCost.Nanoseconds(),
+		RebuildRecommended: st.RebuildRecommended,
+	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.requests["ingest"].Inc()
+	var req ingestRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		s.fail(w, "ingest", badRequestError{fmt.Errorf("reading body: %w", err)})
+		return
+	}
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, "ingest", badRequestError{fmt.Errorf("decoding JSON body: %w", err)})
+		return
+	}
+	switch req.Rebuild {
+	case "", "auto", "force", "never":
+	default:
+		s.fail(w, "ingest", badRequestError{fmt.Errorf("bad rebuild policy %q (want auto, force or never)", req.Rebuild)})
+		return
+	}
+
+	s.ing.Lock()
+	eng, gen, err := s.reg.Get(req.Dataset)
+	if err != nil {
+		s.ing.Unlock()
+		s.fail(w, "ingest", notFoundError{err})
+		return
+	}
+	name := eng.Dataset().Name()
+	if s.ing.rebuilding[name] {
+		s.ing.Unlock()
+		s.fail(w, "ingest", conflictError{fmt.Errorf("dataset %q is rebuilding; retry when the generation bumps", name)})
+		return
+	}
+	st, err := eng.IngestContext(r.Context(), req.Inserts, req.Deletes)
+	if err != nil {
+		s.ing.Unlock()
+		s.fail(w, "ingest", err)
+		return
+	}
+	started := false
+	if req.Rebuild == "force" || (req.Rebuild != "never" && st.RebuildRecommended) {
+		s.ing.rebuilding[name] = true
+		started = true
+		s.rebuildsStarted.Inc()
+		go s.rebuild(name, eng)
+	}
+	s.ing.Unlock()
+
+	s.writeJSON(w, http.StatusOK, ingestResponse{
+		Dataset:        name,
+		Inserted:       len(req.Inserts),
+		Deleted:        len(req.Deletes),
+		Generation:     gen,
+		Staleness:      toStalenessJSON(st),
+		RebuildStarted: started,
+	})
+}
+
+// rebuild runs one background index rebuild and swaps the fresh engine
+// into the registry. The old engine serves queries (and stays reachable
+// for in-flight ones) for the whole duration; the registry swap bumps
+// the generation, retiring every cached result keyed under the old one.
+// Failures leave the old engine in place.
+func (s *Server) rebuild(name string, eng *colarm.Engine) {
+	fresh, err := eng.Rebuild(context.Background())
+	s.ing.Lock()
+	defer s.ing.Unlock()
+	if err != nil {
+		s.rebuildsFailed.Inc()
+	} else {
+		s.reg.Register(fresh)
+	}
+	delete(s.ing.rebuilding, name)
+}
+
+// methodNotAllowed answers wrong-method requests on an API route with a
+// JSON 405 and the route's Allow header.
+func (s *Server) methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		s.writeJSON(w, http.StatusMethodNotAllowed,
+			errorResponse{Error: fmt.Sprintf("method %s not allowed on %s; use %s", r.Method, r.URL.Path, allow)})
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.requests["metrics"].Inc()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -425,6 +601,12 @@ type notFoundError struct{ err error }
 func (e notFoundError) Error() string { return e.err.Error() }
 func (e notFoundError) Unwrap() error { return e.err }
 
+// conflictError marks an ingest racing a background rebuild — 409.
+type conflictError struct{ err error }
+
+func (e conflictError) Error() string { return e.err.Error() }
+func (e conflictError) Unwrap() error { return e.err }
+
 // statusOf maps an error to its HTTP status: the facade's typed
 // validation errors (and explicitly tagged parse failures) are the
 // caller's fault — 400; an unknown dataset is 404; admission overflow
@@ -433,15 +615,19 @@ func (e notFoundError) Unwrap() error { return e.err }
 func statusOf(err error) int {
 	var bad badRequestError
 	var missing notFoundError
+	var conflict conflictError
 	switch {
 	case errors.As(err, &bad),
 		errors.Is(err, colarm.ErrUnknownAttribute),
 		errors.Is(err, colarm.ErrUnknownValue),
 		errors.Is(err, colarm.ErrBadThreshold),
-		errors.Is(err, colarm.ErrUnknownPlan):
+		errors.Is(err, colarm.ErrUnknownPlan),
+		errors.Is(err, colarm.ErrBadRecordID):
 		return http.StatusBadRequest
 	case errors.As(err, &missing):
 		return http.StatusNotFound
+	case errors.As(err, &conflict):
+		return http.StatusConflict
 	case errors.Is(err, errOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):

@@ -5,18 +5,29 @@ import (
 	"os"
 
 	"colarm/internal/core"
-	"colarm/internal/cost"
 	"colarm/internal/mip"
 	"colarm/internal/plans"
 )
 
 // Save serializes the engine's MIP-index (dataset, closed frequent
-// itemsets, bounding boxes) to w. The offline mining phase is the
-// expensive part of Open; a saved index restores in milliseconds with
-// LoadEngine, so indexes can be built once and shipped to query-serving
-// processes — the preprocess-once-query-many contract made durable.
+// itemsets, bounding boxes) plus its live-ingestion state — generation
+// and any buffered delta transactions — to w. The offline mining phase
+// is the expensive part of Open; a saved index restores in milliseconds
+// with LoadEngine, so indexes can be built once and shipped to
+// query-serving processes — the preprocess-once-query-many contract
+// made durable. A snapshot taken mid-ingest restores to the exact same
+// answers: the delta rides along and is replayed on load.
 func (e *Engine) Save(w io.Writer) error {
-	_, err := e.eng.Index.WriteTo(w)
+	rows, dels := e.eng.Delta.Snapshot()
+	meta := mip.SnapshotMeta{
+		Primary:    e.opts.PrimarySupport,
+		Generation: e.gen,
+		DeltaRows:  rows,
+	}
+	for _, id := range dels {
+		meta.DeltaDels = append(meta.DeltaDels, int32(id))
+	}
+	_, err := e.eng.Index.WriteSnapshot(w, meta)
 	return err
 }
 
@@ -35,13 +46,15 @@ func (e *Engine) SaveFile(path string) error {
 
 // LoadEngine restores an engine from a snapshot written by Save. opts
 // controls the runtime knobs only (calibration, check mode); the index
-// parameters (primary support, fanout, packing) come from the snapshot.
+// parameters (primary support, fanout, packing), the engine generation
+// and any buffered delta come from the snapshot. A snapshot of a
+// different format version fails with ErrSnapshotVersion.
 func LoadEngine(r io.Reader, opts Options) (*Engine, error) {
-	idx, err := mip.ReadIndex(r)
+	idx, meta, err := mip.ReadSnapshot(r)
 	if err != nil {
 		return nil, err
 	}
-	return engineFromIndex(idx, opts)
+	return engineFromIndex(idx, meta, opts)
 }
 
 // LoadEngineFile restores an engine from a snapshot file.
@@ -54,21 +67,36 @@ func LoadEngineFile(path string, opts Options) (*Engine, error) {
 	return LoadEngine(f, opts)
 }
 
-func engineFromIndex(idx *mip.Index, opts Options) (*Engine, error) {
-	units := cost.Units{}
-	if opts.Calibrate {
-		units = cost.MeasureUnits(idx.Dataset.NumRecords(), idx.Dataset.NumAttrs())
-	}
+func engineFromIndex(idx *mip.Index, meta mip.SnapshotMeta, opts Options) (*Engine, error) {
 	mode, err := plans.ParseCheckMode(opts.CheckMode)
 	if err != nil {
 		return nil, err
 	}
-	ex := plans.NewExecutor(idx)
-	ex.Mode = mode
-	ex.Workers = opts.Workers
-	model := cost.NewModel(idx, units)
-	model.Mode = mode
-	eng := &core.Engine{Index: idx, Executor: ex, Model: model}
-	eng.InitObservability(idx.Dataset.Name, opts.Metrics.registry(), opts.AccuracyTolerance)
-	return &Engine{eng: eng, ds: &Dataset{rel: idx.Dataset}, trackAccuracy: opts.TrackAccuracy}, nil
+	opts.PrimarySupport = meta.Primary
+	eng := core.Assemble(idx, core.Options{
+		PrimarySupport: meta.Primary,
+		CalibrateUnits: opts.Calibrate,
+		CheckMode:      mode,
+		Workers:        opts.Workers,
+		AccuracyTol:    opts.AccuracyTolerance,
+		Metrics:        opts.Metrics.registry(),
+	})
+	if len(meta.DeltaRows) > 0 || len(meta.DeltaDels) > 0 {
+		dels := make([]int, len(meta.DeltaDels))
+		for i, id := range meta.DeltaDels {
+			dels[i] = int(id)
+		}
+		// Replay straight into the store: restoring persisted state is
+		// not a fresh ingest, so the ingest metrics stay untouched.
+		if _, err := eng.Delta.Ingest(meta.DeltaRows, dels); err != nil {
+			return nil, err
+		}
+	}
+	return &Engine{
+		eng:           eng,
+		ds:            &Dataset{rel: idx.Dataset},
+		trackAccuracy: opts.TrackAccuracy,
+		opts:          opts,
+		gen:           meta.Generation,
+	}, nil
 }

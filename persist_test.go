@@ -2,6 +2,9 @@ package colarm
 
 import (
 	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -80,6 +83,84 @@ func TestLoadEngineErrors(t *testing.T) {
 	}
 	if _, err := LoadEngine(&buf, Options{CheckMode: "bogus"}); err == nil {
 		t.Error("bogus check mode must error")
+	}
+}
+
+// TestSaveLoadWithDelta proves a snapshot taken mid-ingest restores to
+// the exact same answers: the buffered delta and the generation ride
+// along in the v2 format's metadata.
+func TestSaveLoadWithDelta(t *testing.T) {
+	eng := salaryEngine(t)
+	rec := map[string]string{}
+	for _, a := range eng.Dataset().Attributes() {
+		vals, _ := eng.Dataset().Values(a)
+		rec[a] = vals[len(vals)-1]
+	}
+	if _, err := eng.Ingest([]map[string]string{rec, rec}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := eng.Staleness(), loaded.Staleness()
+	if a.BufferedRows != b.BufferedRows || a.Tombstones != b.Tombstones || a.Generation != b.Generation {
+		t.Fatalf("staleness lost in round trip: saved %+v, loaded %+v", a, b)
+	}
+	q := Query{MinSupport: 0.3, MinConfidence: 0.8}
+	ra, err := eng.Mine(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := loaded.Mine(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra.Rules) != len(rb.Rules) {
+		t.Fatalf("rules %d != %d after mid-ingest reload", len(ra.Rules), len(rb.Rules))
+	}
+	for i := range ra.Rules {
+		if ra.Rules[i].String() != rb.Rules[i].String() {
+			t.Fatalf("rule %d differs after mid-ingest reload", i)
+		}
+	}
+	// The restored engine keeps the rebuild lineage: generation survives
+	// a rebuild → save → load cycle.
+	rebuilt, err := loaded.Rebuild(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := rebuilt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadEngine(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Generation() != rebuilt.Generation() || again.Generation() != 1 {
+		t.Fatalf("generation %d after rebuild round trip, want 1", again.Generation())
+	}
+}
+
+// TestSnapshotVersionMismatch pins the typed rejection of streams that
+// are not this build's snapshot format: foreign bytes and old-format
+// streams fail with ErrSnapshotVersion before any payload decode.
+func TestSnapshotVersionMismatch(t *testing.T) {
+	if _, err := LoadEngine(strings.NewReader("COLARM-MIP-v1 but not really"), Options{}); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("foreign stream: got %v, want ErrSnapshotVersion", err)
+	}
+	// A well-formed gob stream carrying the wrong magic string.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode("COLARM-MIP-v1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEngine(&buf, Options{}); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("old magic: got %v, want ErrSnapshotVersion", err)
 	}
 }
 
