@@ -34,6 +34,18 @@
 //	-ingest-batches N ingest batches in the mixed phase (default 16)
 //	-batch-rows N     rows per ingest batch (default 32)
 //
+// -tidset runs the tidset representation micro-benchmark: the SELECT /
+// ELIMINATE / VERIFY operator kernels plus resident bytes, measured on
+// dense (pre-hybrid bitmap) and hybrid (array/bitmap/run container)
+// tidsets across sparsity levels and layouts. The JSON report is the
+// repository's perf-trajectory artifact format (BENCH_<pr>.json):
+//
+//	-tidset           run the tidset representation benchmark
+//	-tidset-records N universe size in records (default 1<<20)
+//	-tidset-items N   item tidsets per density level (default 48)
+//	-tidset-iters N   timing iterations per kernel (default 5)
+//	-bench-out FILE   write the JSON report to FILE
+//
 // Observability flags:
 //
 //	-metrics ADDR       serve engine metrics (Prometheus text format) at
@@ -85,13 +97,49 @@ func main() {
 		metrics    = flag.String("metrics", "", "serve /metrics and /debug/pprof/ at this address during the run")
 		accOnline  = flag.Bool("accuracy-online", false, "measure plan-choice accuracy via traced queries + all-plan replay")
 		accQueries = flag.Int("accuracy-queries", 120, "traced queries for -accuracy-online")
+		tidset     = flag.Bool("tidset", false, "run the tidset representation benchmark (dense vs hybrid)")
+		tidsetRecs = flag.Int("tidset-records", 1<<20, "universe size (records) for -tidset")
+		tidsetItem = flag.Int("tidset-items", 48, "item tidsets per density level for -tidset")
+		tidsetIter = flag.Int("tidset-iters", 5, "timing iterations per kernel for -tidset (minimum is reported)")
+		benchOut   = flag.String("bench-out", "", "write the -tidset report as JSON to this file (e.g. BENCH_6.json)")
 	)
 	flag.Parse()
+	if *tidset {
+		if err := runTidset(*tidsetRecs, *tidsetItem, *tidsetIter, *seed, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "colarm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*fig, *table, *all, *full, *runs, *seed, *concurrent, *clients, *queries,
 		*ingest, *batches, *batchRows, *metrics, *accOnline, *accQueries); err != nil {
 		fmt.Fprintln(os.Stderr, "colarm-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runTidset runs the dense-vs-hybrid tidset benchmark and optionally
+// persists the JSON report (the repository's BENCH_<pr>.json perf
+// trajectory format).
+func runTidset(records, items, iters int, seed int64, out string) error {
+	rep := bench.RunTidset(records, items, iters, seed)
+	bench.PrintTidset(os.Stdout, rep)
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", out)
+	return nil
 }
 
 func run(fig int, table string, all, full bool, runs int, seed int64, concurrent bool, clients, perClient int,

@@ -1,0 +1,92 @@
+package colarm
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"colarm/internal/bitset"
+	"colarm/internal/datagen"
+)
+
+// TestHybridDifferential proves the tidset representation is invisible
+// to the engine: for randomized datasets, an engine built entirely on
+// dense (all-bitmap) tidsets and one built on hybrid containers return
+// byte-identical rules and identical Stats — candidate and check
+// counters included — for all six plans and Auto. Together with the
+// per-operation equivalence tests in internal/bitset, this pins that
+// the hybrid representation changes memory and speed, never answers.
+func TestHybridDifferential(t *testing.T) {
+	prev := bitset.SetHybrid(true)
+	defer bitset.SetHybrid(prev)
+
+	rng := rand.New(rand.NewSource(20260808))
+	totalRules := 0
+	for trial := 0; trial < 8; trial++ {
+		cfg := randomDiffConfig(rng, trial)
+		d, err := datagen.Generate(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: generate: %v", trial, err)
+		}
+		primary := 0.15 + 0.2*rng.Float64()
+
+		// Build one engine per representation policy. The policy is
+		// captured per Set at construction, so everything each engine
+		// allocates (item tidsets, CHARM intersections, MIP snapshots,
+		// focal-subset bitmaps) carries its mode throughout the run.
+		var engDense, engHybrid *Engine
+		withHybrid(false, func() {
+			engDense, err = Open(&Dataset{rel: d}, Options{PrimarySupport: primary})
+		})
+		if err != nil {
+			t.Fatalf("trial %d: open dense: %v", trial, err)
+		}
+		withHybrid(true, func() {
+			engHybrid, err = Open(&Dataset{rel: d}, Options{PrimarySupport: primary})
+		})
+		if err != nil {
+			t.Fatalf("trial %d: open hybrid: %v", trial, err)
+		}
+
+		for qi := 0; qi < 2; qi++ {
+			q := randomDiffQuery(rng, &Dataset{rel: d})
+			for _, plan := range []Plan{SEV, SVS, SSEV, SSVS, SSEUV, ARM, Auto} {
+				pq := q
+				pq.Plan = plan
+				label := fmt.Sprintf("trial %d query %d plan %s", trial, qi, plan)
+
+				var resD, resH *Result
+				var errD, errH error
+				withHybrid(false, func() { resD, errD = engDense.Mine(pq) })
+				withHybrid(true, func() { resH, errH = engHybrid.Mine(pq) })
+				if (errD == nil) != (errH == nil) {
+					t.Fatalf("%s: error divergence: dense %v, hybrid %v", label, errD, errH)
+				}
+				if errD != nil {
+					continue
+				}
+				if !reflect.DeepEqual(resD.Rules, resH.Rules) {
+					t.Fatalf("%s: rules diverge across representations\ndense:  %v\nhybrid: %v",
+						label, resD.Rules, resH.Rules)
+				}
+				sd, sh := resD.Stats, resH.Stats
+				sd.DurationNanos, sh.DurationNanos = 0, 0
+				if sd != sh {
+					t.Fatalf("%s: stats diverge across representations\ndense:  %+v\nhybrid: %+v",
+						label, sd, sh)
+				}
+				totalRules += len(resD.Rules)
+			}
+		}
+	}
+	if totalRules == 0 {
+		t.Fatal("no trial produced any rules; the differential comparison is vacuous")
+	}
+}
+
+func withHybrid(on bool, fn func()) {
+	prev := bitset.SetHybrid(on)
+	defer bitset.SetHybrid(prev)
+	fn()
+}

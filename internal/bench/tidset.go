@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"colarm/internal/bitset"
+)
+
+// The tidset benchmark compares the two tidset representations — dense
+// (one bitmap word per 64 records, the pre-hybrid layout) and hybrid
+// (roaring-style array/bitmap/run containers) — on the three operator
+// kernels every plan is built from:
+//
+//	SELECT     build the focal subset dq from a region: Fill, then per
+//	           restricted attribute an Or of value tidsets And-ed in.
+//	ELIMINATE  AndCount(item tidset, dq) per item: the support-counting
+//	           pass that discards items below the local threshold.
+//	VERIFY     Intersect + AndCount over candidate pairs: the
+//	           record-level check of composed candidates.
+//
+// Each cell is measured at several tidset densities, in both scattered
+// and clustered (storage-order run-friendly) layouts, together with the
+// resident bytes of the tidsets plus dq. The result is the repository's
+// perf trajectory format: BENCH_<pr>.json.
+
+// TidsetRow is one (density, layout, mode) measurement.
+type TidsetRow struct {
+	Density     float64 `json:"density"`
+	Clustered   bool    `json:"clustered"`
+	Mode        string  `json:"mode"` // "dense" or "hybrid"
+	Bytes       int64   `json:"bytes"`
+	SelectNs    int64   `json:"select_ns"`
+	EliminateNs int64   `json:"eliminate_ns"`
+	VerifyNs    int64   `json:"verify_ns"`
+}
+
+// TidsetReport is the serialized benchmark artifact (BENCH_<pr>.json).
+type TidsetReport struct {
+	Bench     string      `json:"bench"`
+	PR        int         `json:"pr"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	CPUs      int         `json:"cpus"`
+	Records   int         `json:"records"`
+	Items     int         `json:"items"`
+	Rows      []TidsetRow `json:"rows"`
+}
+
+// TidsetDensities are the sparsity levels the benchmark sweeps: from a
+// rare attribute value (0.05% of records) to one present in half of
+// them.
+func TidsetDensities() []float64 { return []float64{0.0005, 0.005, 0.05, 0.5} }
+
+// RunTidset measures both representations over records×items universes
+// at every density in TidsetDensities, in scattered and clustered
+// layouts. iters controls how many times each kernel runs; the minimum
+// is reported (the usual noise floor estimator for short kernels).
+func RunTidset(records, items, iters int, seed int64) *TidsetReport {
+	rep := &TidsetReport{
+		Bench:     "tidset",
+		PR:        6,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Records:   records,
+		Items:     items,
+	}
+	for _, density := range TidsetDensities() {
+		for _, clustered := range []bool{false, true} {
+			// Same logical ids for both modes: generate once, build twice.
+			ids := tidsetIDs(rand.New(rand.NewSource(seed)), records, items, density, clustered)
+			for _, mode := range []string{"dense", "hybrid"} {
+				prev := bitset.SetHybrid(mode == "hybrid")
+				row := measureTidset(records, ids, iters)
+				bitset.SetHybrid(prev)
+				row.Density, row.Clustered, row.Mode = density, clustered, mode
+				rep.Rows = append(rep.Rows, row)
+			}
+		}
+	}
+	return rep
+}
+
+// tidsetIDs generates the per-item record id lists. Clustered layouts
+// draw contiguous blocks (records arriving in storage order cluster an
+// attribute value's tids into runs); scattered layouts draw points.
+func tidsetIDs(rng *rand.Rand, records, items int, density float64, clustered bool) [][]int {
+	out := make([][]int, items)
+	for i := range out {
+		want := int(density * float64(records))
+		if want < 1 {
+			want = 1
+		}
+		var ids []int
+		if clustered {
+			for len(ids) < want {
+				start := rng.Intn(records)
+				blk := 1 + rng.Intn(256)
+				for r := start; r < records && r < start+blk && len(ids) < want; r++ {
+					ids = append(ids, r)
+				}
+			}
+		} else {
+			for len(ids) < want {
+				ids = append(ids, rng.Intn(records))
+			}
+		}
+		out[i] = ids
+	}
+	return out
+}
+
+// measureTidset builds the tidsets under the current representation
+// policy and times the three kernels.
+func measureTidset(records int, ids [][]int, iters int) TidsetRow {
+	tids := make([]*bitset.Set, len(ids))
+	for i, list := range ids {
+		tids[i] = bitset.FromIDs(records, list...)
+		tids[i].Optimize()
+	}
+
+	// SELECT: region build — three restricted attributes, each the union
+	// of a sixth of the item vocabulary, intersected into a full set.
+	sel := func() *bitset.Set {
+		cur := bitset.New(records)
+		cur.Fill()
+		for a := 0; a < 3; a++ {
+			dim := bitset.New(records)
+			for v := a; v < len(tids); v += 6 {
+				dim.Or(tids[v])
+			}
+			cur.And(dim)
+		}
+		return cur
+	}
+	var dq *bitset.Set
+	selectNs := timeKernel(iters, func() { dq = sel() })
+
+	// ELIMINATE: one AndCount per item against dq.
+	minCount := dq.Count() / 10
+	var survivors []int
+	eliminateNs := timeKernel(iters, func() {
+		survivors = survivors[:0]
+		for i, t := range tids {
+			if bitset.AndCount(t, dq) >= minCount {
+				survivors = append(survivors, i)
+			}
+		}
+	})
+
+	// VERIFY: pairwise candidate checks over the surviving items
+	// (bounded so the cell stays comparable across densities).
+	cand := survivors
+	if len(cand) < 2 {
+		cand = []int{0, 1 % len(tids)}
+	}
+	if len(cand) > 12 {
+		cand = cand[:12]
+	}
+	sink := 0
+	verifyNs := timeKernel(iters, func() {
+		for i := 0; i < len(cand); i++ {
+			for j := i + 1; j < len(cand); j++ {
+				x := bitset.Intersect(tids[cand[i]], tids[cand[j]])
+				sink += bitset.AndCount(x, dq)
+			}
+		}
+	})
+	_ = sink
+
+	var bytes int64
+	for _, t := range tids {
+		bytes += int64(t.Bytes())
+	}
+	bytes += int64(dq.Bytes())
+	return TidsetRow{
+		Bytes:       bytes,
+		SelectNs:    selectNs,
+		EliminateNs: eliminateNs,
+		VerifyNs:    verifyNs,
+	}
+}
+
+// timeKernel reports the minimum wall time of iters runs.
+func timeKernel(iters int, f func()) int64 {
+	if iters < 1 {
+		iters = 1
+	}
+	best := int64(math.MaxInt64)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		f()
+		if ns := time.Since(start).Nanoseconds(); ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// WriteJSON serializes the report as indented JSON.
+func (r *TidsetReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// PrintTidset renders the report as a side-by-side table with the
+// hybrid/dense ratios that the benchmark exists to surface.
+func PrintTidset(w io.Writer, rep *TidsetReport) {
+	fmt.Fprintf(w, "Tidset representation benchmark — %d records × %d item tidsets (%s/%s, %d CPUs)\n",
+		rep.Records, rep.Items, rep.GOOS, rep.GOARCH, rep.CPUs)
+	fmt.Fprintf(w, "%-9s %-9s %-7s %12s %12s %12s %12s\n",
+		"density", "layout", "mode", "bytes", "select", "eliminate", "verify")
+
+	// Pair dense/hybrid rows per (density, layout) to print ratios.
+	type key struct {
+		d float64
+		c bool
+	}
+	byKey := map[key]map[string]TidsetRow{}
+	var keys []key
+	for _, row := range rep.Rows {
+		k := key{row.Density, row.Clustered}
+		if byKey[k] == nil {
+			byKey[k] = map[string]TidsetRow{}
+			keys = append(keys, k)
+		}
+		byKey[k][row.Mode] = row
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].d != keys[j].d {
+			return keys[i].d < keys[j].d
+		}
+		return !keys[i].c && keys[j].c
+	})
+	layout := func(c bool) string {
+		if c {
+			return "clustered"
+		}
+		return "scattered"
+	}
+	for _, k := range keys {
+		pair := byKey[k]
+		for _, mode := range []string{"dense", "hybrid"} {
+			row, ok := pair[mode]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "%-9.4f %-9s %-7s %12d %12d %12d %12d\n",
+				row.Density, layout(row.Clustered), row.Mode,
+				row.Bytes, row.SelectNs, row.EliminateNs, row.VerifyNs)
+		}
+		d, okD := pair["dense"]
+		h, okH := pair["hybrid"]
+		if okD && okH && d.Bytes > 0 {
+			fmt.Fprintf(w, "%-9s %-9s %-7s %11.2fx %11.2fx %11.2fx %11.2fx\n",
+				"", "", "ratio",
+				ratio(h.Bytes, d.Bytes), ratio(h.SelectNs, d.SelectNs),
+				ratio(h.EliminateNs, d.EliminateNs), ratio(h.VerifyNs, d.VerifyNs))
+		}
+	}
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return float64(a) / float64(b)
+}

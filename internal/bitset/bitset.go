@@ -1,23 +1,60 @@
-// Package bitset provides dense fixed-capacity bitsets used throughout
-// COLARM as tidsets: sets of record identifiers attached to items and
-// itemsets. The hot operations for the miners and the online plans are
-// intersection, intersection cardinality, and population count, so those
-// are implemented without allocation where possible.
+// Package bitset provides the tidsets used throughout COLARM: sets of
+// record identifiers attached to items and itemsets. The hot operations
+// for the miners and the online plans are intersection, intersection
+// cardinality, and population count, so those are implemented without
+// allocation where possible.
+//
+// Storage is hybrid (see container.go): the universe is chunked into
+// aligned 2^16-id containers, each independently encoded as a sorted
+// array, a dense bitmap, or a run list, with automatic promotion and
+// demotion on mutation. SetHybrid(false) pins every container to the
+// dense bitmap encoding, which reproduces the pre-hybrid dense layout
+// word for word — the benchmark harness uses that to compare the two
+// representations on identical workloads.
 package bitset
 
 import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync/atomic"
 )
 
 const wordBits = 64
 
-// Set is a dense bitset over the universe [0, Len()). The zero value is an
-// empty set of capacity zero; use New to create a set that can hold ids.
+// defaultHybrid selects the representation policy for newly constructed
+// sets: compressed containers (true, the default) or dense bitmaps only.
+var defaultHybrid atomic.Bool
+
+func init() { defaultHybrid.Store(true) }
+
+// SetHybrid sets the package-wide representation policy for sets created
+// afterwards and returns the previous policy. Existing sets keep the
+// policy they were created with; sets of different policies interoperate
+// freely (every operation is defined on logical content, not encoding).
+// Intended for benchmarks and differential tests.
+func SetHybrid(on bool) bool { return defaultHybrid.Swap(on) }
+
+// HybridEnabled reports the current construction policy.
+func HybridEnabled() bool { return defaultHybrid.Load() }
+
+// Set is a fixed-capacity set over the universe [0, Len()). The zero
+// value is an empty set of capacity zero; use New to create a set that
+// can hold ids.
 type Set struct {
-	words []uint64
-	n     int // capacity in bits
+	n      int  // capacity in bits
+	hybrid bool // representation policy this set was created under
+	ctrs   []container
+}
+
+func numCtrs(n int) int { return (n + ctrBits - 1) / ctrBits }
+
+// span returns the number of valid ids in container ci.
+func (s *Set) span(ci int) int {
+	if sp := s.n - ci*ctrBits; sp < ctrBits {
+		return sp
+	}
+	return ctrBits
 }
 
 // New returns an empty Set capable of holding ids in [0, n).
@@ -25,11 +62,20 @@ func New(n int) *Set {
 	if n < 0 {
 		n = 0
 	}
-	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+	s := &Set{n: n, hybrid: defaultHybrid.Load(), ctrs: make([]container, numCtrs(n))}
+	if !s.hybrid {
+		// Dense policy allocates eagerly, like the pre-hybrid layout.
+		for i := range s.ctrs {
+			s.ctrs[i].toBitmap()
+		}
+	}
+	return s
 }
 
 // FromIDs returns a Set of capacity n containing exactly the given ids.
-// Ids outside [0, n) are ignored.
+// It is the filtering constructor: ids outside [0, n) are silently
+// dropped (unlike Add, which panics on them), so callers can build a set
+// from an unvalidated id stream in one call.
 func FromIDs(n int, ids ...int) *Set {
 	s := New(n)
 	for _, id := range ids {
@@ -43,39 +89,48 @@ func FromIDs(n int, ids ...int) *Set {
 // Len returns the capacity (universe size) of the set in bits.
 func (s *Set) Len() int { return s.n }
 
-// Add inserts id into the set. Ids outside [0, Len()) panic, matching the
-// out-of-range behaviour of slice indexing.
+// Add inserts id into the set. An id outside [0, Len()) — including any
+// negative id — panics: tidset ids are record ids, and an out-of-range
+// one is always a caller bug. Use FromIDs to build from unvalidated ids.
 func (s *Set) Add(id int) {
-	s.words[id/wordBits] |= 1 << (uint(id) % wordBits)
+	if id < 0 || id >= s.n {
+		panic(fmt.Sprintf("bitset: Add(%d) outside capacity [0,%d)", id, s.n))
+	}
+	s.ctrs[id>>16].add(uint16(id&(ctrBits-1)), s.hybrid)
 }
 
-// Remove deletes id from the set.
+// Remove deletes id from the set. Like Add, an id outside [0, Len())
+// panics.
 func (s *Set) Remove(id int) {
-	s.words[id/wordBits] &^= 1 << (uint(id) % wordBits)
+	if id < 0 || id >= s.n {
+		panic(fmt.Sprintf("bitset: Remove(%d) outside capacity [0,%d)", id, s.n))
+	}
+	s.ctrs[id>>16].remove(uint16(id&(ctrBits-1)), s.hybrid)
 }
 
 // Contains reports whether id is in the set. Ids outside [0, Len()) are
-// reported as absent.
+// reported as absent (membership is a query, not a mutation, so the
+// strict contract of Add/Remove does not apply).
 func (s *Set) Contains(id int) bool {
 	if id < 0 || id >= s.n {
 		return false
 	}
-	return s.words[id/wordBits]&(1<<(uint(id)%wordBits)) != 0
+	return s.ctrs[id>>16].contains(uint16(id & (ctrBits - 1)))
 }
 
 // Count returns the number of ids in the set.
 func (s *Set) Count() int {
 	c := 0
-	for _, w := range s.words {
-		c += bits.OnesCount64(w)
+	for i := range s.ctrs {
+		c += int(s.ctrs[i].card)
 	}
 	return c
 }
 
 // IsEmpty reports whether the set contains no ids.
 func (s *Set) IsEmpty() bool {
-	for _, w := range s.words {
-		if w != 0 {
+	for i := range s.ctrs {
+		if s.ctrs[i].card != 0 {
 			return false
 		}
 	}
@@ -84,8 +139,10 @@ func (s *Set) IsEmpty() bool {
 
 // Clone returns an independent copy of s.
 func (s *Set) Clone() *Set {
-	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
-	copy(c.words, s.words)
+	c := &Set{n: s.n, hybrid: s.hybrid, ctrs: make([]container, len(s.ctrs))}
+	for i := range s.ctrs {
+		c.ctrs[i] = s.ctrs[i].clone()
+	}
 	return c
 }
 
@@ -96,114 +153,145 @@ func (s *Set) CloneGrown(n int) *Set {
 	if n < s.n {
 		panic("bitset: CloneGrown capacity below current")
 	}
-	c := New(n)
-	copy(c.words, s.words)
+	c := &Set{n: n, hybrid: s.hybrid, ctrs: make([]container, numCtrs(n))}
+	for i := range s.ctrs {
+		c.ctrs[i] = s.ctrs[i].clone()
+	}
+	if !c.hybrid {
+		for i := range c.ctrs {
+			c.ctrs[i].toBitmap()
+		}
+	}
 	return c
 }
 
 // Clear removes all ids from the set, keeping its capacity.
 func (s *Set) Clear() {
-	for i := range s.words {
-		s.words[i] = 0
+	for i := range s.ctrs {
+		if s.hybrid {
+			s.ctrs[i].setEmpty()
+		} else {
+			s.ctrs[i].toBitmap()
+			clear(s.ctrs[i].b)
+			s.ctrs[i].card = 0
+		}
 	}
 }
 
 // Fill adds every id in [0, Len()) to the set.
 func (s *Set) Fill() {
-	for i := range s.words {
-		s.words[i] = ^uint64(0)
-	}
-	s.trim()
-}
-
-// trim zeroes the bits beyond capacity in the last word so Count and
-// equality stay exact after Fill or Complement.
-func (s *Set) trim() {
-	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
-		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	for i := range s.ctrs {
+		fillCtr(&s.ctrs[i], s.span(i), s.hybrid)
 	}
 }
 
 // And replaces s with s ∩ t. The sets must have equal capacity.
 func (s *Set) And(t *Set) {
 	s.checkCompat(t)
-	for i := range s.words {
-		s.words[i] &= t.words[i]
+	for i := range s.ctrs {
+		andInPlace(&s.ctrs[i], &t.ctrs[i], s.hybrid)
 	}
 }
 
 // Or replaces s with s ∪ t. The sets must have equal capacity.
 func (s *Set) Or(t *Set) {
 	s.checkCompat(t)
-	for i := range s.words {
-		s.words[i] |= t.words[i]
+	for i := range s.ctrs {
+		orInPlace(&s.ctrs[i], &t.ctrs[i], s.hybrid)
 	}
 }
 
 // AndNot replaces s with s \ t. The sets must have equal capacity.
 func (s *Set) AndNot(t *Set) {
 	s.checkCompat(t)
-	for i := range s.words {
-		s.words[i] &^= t.words[i]
+	for i := range s.ctrs {
+		andNotInPlace(&s.ctrs[i], &t.ctrs[i], s.hybrid)
 	}
 }
 
 // Complement replaces s with its complement within [0, Len()).
 func (s *Set) Complement() {
-	for i := range s.words {
-		s.words[i] = ^s.words[i]
+	for i := range s.ctrs {
+		complementCtr(&s.ctrs[i], s.span(i), s.hybrid)
 	}
-	s.trim()
 }
 
 // Intersect returns a new set holding s ∩ t.
 func Intersect(s, t *Set) *Set {
 	s.checkCompat(t)
-	r := New(s.n)
-	for i := range s.words {
-		r.words[i] = s.words[i] & t.words[i]
+	r := &Set{n: s.n, hybrid: s.hybrid, ctrs: make([]container, len(s.ctrs))}
+	for i := range s.ctrs {
+		x, y := &s.ctrs[i], &t.ctrs[i]
+		if x.kind == bitmapCtr && y.kind == bitmapCtr {
+			// One-pass kernel for the dense pair: intersect into a stack
+			// buffer while counting, then allocate only what the result
+			// actually needs — an array payload for sparse results, a
+			// copied bitmap otherwise. A bitmap×bitmap intersection is
+			// usually much smaller than its operands, so allocating the
+			// full 8 KiB up front just to demote it would put every
+			// VERIFY check's scratch on the heap.
+			var buf [ctrWords]uint64
+			n := 0
+			for w := range buf {
+				buf[w] = x.b[w] & y.b[w]
+				n += bits.OnesCount64(buf[w])
+			}
+			c := container{kind: bitmapCtr, card: int32(n), b: buf[:]}
+			switch {
+			case n == 0 && r.hybrid:
+				r.ctrs[i] = container{}
+			case int32(n) <= arrayOptCard && r.hybrid:
+				c.toArray()
+				r.ctrs[i] = c
+			default:
+				b := make([]uint64, ctrWords)
+				copy(b, buf[:])
+				c.b = b
+				r.ctrs[i] = c
+			}
+			continue
+		}
+		r.ctrs[i] = x.clone()
+		andInPlace(&r.ctrs[i], y, r.hybrid)
 	}
 	return r
 }
 
 // Union returns a new set holding s ∪ t.
 func Union(s, t *Set) *Set {
-	s.checkCompat(t)
-	r := New(s.n)
-	for i := range s.words {
-		r.words[i] = s.words[i] | t.words[i]
-	}
+	r := s.Clone()
+	r.Or(t)
 	return r
 }
 
 // Difference returns a new set holding s \ t.
 func Difference(s, t *Set) *Set {
-	s.checkCompat(t)
-	r := New(s.n)
-	for i := range s.words {
-		r.words[i] = s.words[i] &^ t.words[i]
-	}
+	r := s.Clone()
+	r.AndNot(t)
 	return r
 }
 
-// AndCount returns |s ∩ t| without materializing the intersection. This is
-// the record-level support check on the hot path of ELIMINATE and VERIFY.
+// AndCount returns |s ∩ t| without materializing the intersection. This
+// is the record-level support check on the hot path of ELIMINATE and
+// VERIFY.
 func AndCount(s, t *Set) int {
 	s.checkCompat(t)
 	c := 0
-	for i, w := range s.words {
-		c += bits.OnesCount64(w & t.words[i])
+	for i := range s.ctrs {
+		c += andCount(&s.ctrs[i], &t.ctrs[i])
 	}
 	return c
 }
 
 // Equal reports whether s and t hold exactly the same ids and capacity.
+// Equality is over logical content: sets holding the same ids compare
+// equal regardless of their container encodings.
 func (s *Set) Equal(t *Set) bool {
 	if s.n != t.n {
 		return false
 	}
-	for i, w := range s.words {
-		if w != t.words[i] {
+	for i := range s.ctrs {
+		if !equalCtr(&s.ctrs[i], &t.ctrs[i]) {
 			return false
 		}
 	}
@@ -213,8 +301,12 @@ func (s *Set) Equal(t *Set) bool {
 // SubsetOf reports whether every id of s is also in t.
 func (s *Set) SubsetOf(t *Set) bool {
 	s.checkCompat(t)
-	for i, w := range s.words {
-		if w&^t.words[i] != 0 {
+	for i := range s.ctrs {
+		x := &s.ctrs[i]
+		if x.card == 0 {
+			continue
+		}
+		if andCount(x, &t.ctrs[i]) != int(x.card) {
 			return false
 		}
 	}
@@ -224,24 +316,20 @@ func (s *Set) SubsetOf(t *Set) bool {
 // Intersects reports whether s and t share at least one id.
 func (s *Set) Intersects(t *Set) bool {
 	s.checkCompat(t)
-	for i, w := range s.words {
-		if w&t.words[i] != 0 {
+	for i := range s.ctrs {
+		if intersectsCtr(&s.ctrs[i], &t.ctrs[i]) {
 			return true
 		}
 	}
 	return false
 }
 
-// ForEach calls fn for every id in ascending order. Iteration stops early
-// if fn returns false.
+// ForEach calls fn for every id in ascending order. Iteration stops
+// early if fn returns false.
 func (s *Set) ForEach(fn func(id int) bool) {
-	for wi, w := range s.words {
-		for w != 0 {
-			tz := bits.TrailingZeros64(w)
-			if !fn(wi*wordBits + tz) {
-				return
-			}
-			w &= w - 1
+	for i := range s.ctrs {
+		if !forEachCtr(&s.ctrs[i], i<<16, fn) {
+			return
 		}
 	}
 }
@@ -256,14 +344,38 @@ func (s *Set) IDs() []int {
 	return out
 }
 
+// Optimize re-encodes every container in its cheapest form (array, run
+// or bitmap) given its current content. Call it after bulk construction
+// of a read-mostly set — per-item tidsets, merged delta views, loaded
+// snapshots — so clustered chunks collapse into runs; mutation after
+// Optimize is still valid (runs fall back to array/bitmap in place).
+// Under the dense policy it is a no-op beyond re-pinning bitmaps.
+func (s *Set) Optimize() {
+	for i := range s.ctrs {
+		s.ctrs[i].optimize(s.hybrid)
+	}
+}
+
+// Bytes reports the approximate heap footprint of the set's payload in
+// bytes (container payloads plus per-container overhead). This is what
+// the tidset benchmark compares across representations.
+func (s *Set) Bytes() int {
+	b := 0
+	for i := range s.ctrs {
+		b += s.ctrs[i].bytes()
+	}
+	return b
+}
+
 // Hash returns a cheap order-independent signature of the set contents.
 // CHARM uses it to bucket candidate closed itemsets by tidset for
-// subsumption checking; collisions are resolved with Equal.
+// subsumption checking; collisions are resolved with Equal. The value
+// depends only on logical content (it folds the logical dense words),
+// so equal sets hash equally across container encodings.
 func (s *Set) Hash() uint64 {
-	var h uint64 = 1469598103934665603 // FNV offset basis
-	for _, w := range s.words {
-		h ^= w
-		h *= 1099511628211
+	var h uint64 = fnvOffset
+	for i := range s.ctrs {
+		h = hashCtr(&s.ctrs[i], (s.span(i)+wordBits-1)/wordBits, h)
 	}
 	return h
 }

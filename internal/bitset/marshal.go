@@ -5,25 +5,78 @@ import (
 	"fmt"
 )
 
-// MarshalBinary encodes the set as an 8-byte little-endian capacity
-// followed by its words. It implements encoding.BinaryMarshaler so sets
-// can be embedded in serialized index snapshots.
+// Binary formats.
+//
+// v2 (pre-hybrid, read-only compatibility): an 8-byte little-endian
+// capacity followed by ceil(n/64) dense words. Decoding a v2 stream
+// converts it to the hybrid representation on load (and Optimize-packs
+// it when the hybrid policy is active), so old MIP-index snapshots keep
+// loading byte-for-byte.
+//
+// v3 (written by MarshalBinary): an 8-byte magic, the capacity, then one
+// record per container carrying its encoding — so snapshots persist the
+// compressed form instead of re-inflating to dense words. The magic is
+// chosen above the v2 decoder's capacity sanity bound (2^40), so a
+// pre-hybrid build rejects a v3 stream with a clean "implausible
+// capacity" error instead of misreading it.
+const (
+	// hybridMagic spells "COLARMV3" as a big-endian uint64; any value
+	// above maxBits works, the mnemonic is for hex dumps.
+	hybridMagic uint64 = 0x434F4C41524D5633
+	// maxBits bounds the decoded capacity against corrupted input.
+	maxBits = 1 << 40
+)
+
+// MarshalBinary encodes the set in the v3 container format. It
+// implements encoding.BinaryMarshaler so sets can be embedded in
+// serialized index snapshots.
 func (s *Set) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 8+8*len(s.words))
-	binary.LittleEndian.PutUint64(buf, uint64(s.n))
-	for i, w := range s.words {
-		binary.LittleEndian.PutUint64(buf[8+8*i:], w)
+	buf := make([]byte, 0, 16+len(s.ctrs))
+	buf = binary.LittleEndian.AppendUint64(buf, hybridMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.n))
+	for i := range s.ctrs {
+		c := &s.ctrs[i]
+		buf = append(buf, c.kind)
+		switch c.kind {
+		case emptyCtr:
+		case arrayCtr:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.a)))
+			for _, v := range c.a {
+				buf = binary.LittleEndian.AppendUint16(buf, v)
+			}
+		case bitmapCtr:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.b)))
+			for _, w := range c.b {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			}
+		case runCtr:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.a)/2))
+			for _, v := range c.a {
+				buf = binary.LittleEndian.AppendUint16(buf, v)
+			}
+		default:
+			return nil, fmt.Errorf("bitset: unknown container kind %d", c.kind)
+		}
 	}
 	return buf, nil
 }
 
-// UnmarshalBinary decodes a set written by MarshalBinary.
+// UnmarshalBinary decodes a set written by MarshalBinary (v3) or by the
+// pre-hybrid dense encoder (v2), sniffing the format from the first
+// 8 bytes. The decoded set adopts the current representation policy.
 func (s *Set) UnmarshalBinary(data []byte) error {
 	if len(data) < 8 {
 		return fmt.Errorf("bitset: truncated header (%d bytes)", len(data))
 	}
+	if binary.LittleEndian.Uint64(data) == hybridMagic {
+		return s.unmarshalV3(data[8:])
+	}
+	return s.unmarshalV2(data)
+}
+
+// unmarshalV2 decodes the pre-hybrid dense format: capacity + words.
+func (s *Set) unmarshalV2(data []byte) error {
 	n := binary.LittleEndian.Uint64(data)
-	const maxBits = 1 << 40 // sanity bound against corrupted input
 	if n > maxBits {
 		return fmt.Errorf("bitset: implausible capacity %d", n)
 	}
@@ -31,11 +84,120 @@ func (s *Set) UnmarshalBinary(data []byte) error {
 	if len(data) != 8+8*words {
 		return fmt.Errorf("bitset: capacity %d needs %d payload bytes, have %d", n, 8*words, len(data)-8)
 	}
+	hybrid := defaultHybrid.Load()
 	s.n = int(n)
-	s.words = make([]uint64, words)
-	for i := range s.words {
-		s.words[i] = binary.LittleEndian.Uint64(data[8+8*i:])
+	s.hybrid = hybrid
+	s.ctrs = make([]container, numCtrs(s.n))
+	for ci := range s.ctrs {
+		c := &s.ctrs[ci]
+		c.toBitmap()
+		base := ci * ctrWords
+		nw := (s.span(ci) + wordBits - 1) / wordBits
+		for w := 0; w < nw; w++ {
+			c.b[w] = binary.LittleEndian.Uint64(data[8+8*(base+w):])
+		}
+		trimBitmap(c.b, s.span(ci))
+		c.card = bitmapCard(c.b)
+		// Dense → hybrid conversion on load: pick the cheapest encoding
+		// per chunk instead of keeping the inflated words.
+		c.optimize(hybrid)
 	}
-	s.trim()
 	return nil
+}
+
+// unmarshalV3 decodes the container format (after the magic).
+func (s *Set) unmarshalV3(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("bitset: truncated v3 header (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint64(data)
+	if n > maxBits {
+		return fmt.Errorf("bitset: implausible capacity %d", n)
+	}
+	hybrid := defaultHybrid.Load()
+	s.n = int(n)
+	s.hybrid = hybrid
+	s.ctrs = make([]container, numCtrs(s.n))
+	off := 8
+	for ci := range s.ctrs {
+		if off >= len(data) {
+			return fmt.Errorf("bitset: truncated at container %d", ci)
+		}
+		c := &s.ctrs[ci]
+		kind := data[off]
+		off++
+		switch kind {
+		case emptyCtr:
+			// zero value already empty
+		case arrayCtr, runCtr:
+			cnt, rest, err := readCount(data, off, ci)
+			if err != nil {
+				return err
+			}
+			off = rest
+			elems := cnt
+			if kind == runCtr {
+				elems = 2 * cnt
+			}
+			if elems > ctrBits {
+				return fmt.Errorf("bitset: container %d has %d elements", ci, elems)
+			}
+			if len(data)-off < 2*elems {
+				return fmt.Errorf("bitset: truncated at container %d payload", ci)
+			}
+			a := make([]uint16, elems)
+			for i := range a {
+				a[i] = binary.LittleEndian.Uint16(data[off+2*i:])
+			}
+			off += 2 * elems
+			c.kind, c.a = kind, a
+			if kind == arrayCtr {
+				c.card = int32(len(a))
+			} else {
+				for i := 0; i < len(a); i += 2 {
+					if a[i] > a[i+1] {
+						return fmt.Errorf("bitset: container %d run %d inverted", ci, i/2)
+					}
+					c.card += int32(a[i+1]-a[i]) + 1
+				}
+			}
+		case bitmapCtr:
+			cnt, rest, err := readCount(data, off, ci)
+			if err != nil {
+				return err
+			}
+			off = rest
+			if cnt != ctrWords {
+				return fmt.Errorf("bitset: container %d bitmap has %d words, want %d", ci, cnt, ctrWords)
+			}
+			if len(data)-off < 8*cnt {
+				return fmt.Errorf("bitset: truncated at container %d payload", ci)
+			}
+			b := make([]uint64, cnt)
+			for i := range b {
+				b[i] = binary.LittleEndian.Uint64(data[off+8*i:])
+			}
+			off += 8 * cnt
+			c.kind, c.b, c.card = bitmapCtr, b, bitmapCard(b)
+		default:
+			return fmt.Errorf("bitset: container %d has unknown kind %d", ci, kind)
+		}
+		if err := c.validate(s.span(ci)); err != nil {
+			return fmt.Errorf("bitset: container %d: %w", ci, err)
+		}
+		if !hybrid {
+			c.toBitmap()
+		}
+	}
+	if off != len(data) {
+		return fmt.Errorf("bitset: %d trailing bytes after last container", len(data)-off)
+	}
+	return nil
+}
+
+func readCount(data []byte, off, ci int) (int, int, error) {
+	if len(data)-off < 4 {
+		return 0, 0, fmt.Errorf("bitset: truncated at container %d header", ci)
+	}
+	return int(binary.LittleEndian.Uint32(data[off:])), off + 4, nil
 }

@@ -260,6 +260,11 @@ func (s *Store) buildViewLocked() *plans.View {
 			tids[sp.ItemOf(a, int(v))].Add(r)
 		}
 	}
+	for _, t := range tids {
+		// Tombstone removal and buffered appends fragment the cloned
+		// containers; re-pack before the view serves reads.
+		t.Optimize()
+	}
 
 	// Re-mine at the merged primary-support count. A rebuild over the
 	// merged data would do exactly this, so the CFIs, supports and

@@ -21,6 +21,11 @@ func ItemTidsets(d *relation.Dataset, sp *Space) []*bitset.Set {
 			out[sp.ItemOf(a, d.Value(r, a))].Add(r)
 		}
 	}
+	// Records arrive in storage order, so values correlated with arrival
+	// cluster into runs; re-pack each tidset into its cheapest encoding.
+	for _, t := range out {
+		t.Optimize()
+	}
 	return out
 }
 

@@ -28,11 +28,21 @@ import (
 // foreign files and other format versions from the first value alone —
 // a typed qerr.ErrSnapshotVersion instead of a garbled payload decode.
 //
-// v2 (this format) moved the magic out of the payload struct and added
-// engine-level metadata: the primary-support fraction, the engine
-// generation, and the live-ingestion delta (buffered rows and deletes),
-// so a snapshot taken mid-ingest restores to the exact same answers.
-const snapshotMagic = "COLARM-MIP-v2"
+// v2 moved the magic out of the payload struct and added engine-level
+// metadata: the primary-support fraction, the engine generation, and
+// the live-ingestion delta (buffered rows and deletes), so a snapshot
+// taken mid-ingest restores to the exact same answers.
+//
+// v3 (this format) carries CFI tidsets in the hybrid container encoding
+// (bitset v3) instead of dense words, so sparse and clustered tidsets
+// persist compressed. The payload struct is unchanged — only the bytes
+// inside each snapCFI.Tids differ — and the bitset decoder sniffs the
+// per-tidset format, so v2 snapshots still load: their dense tidsets
+// are converted to the hybrid representation on read.
+const snapshotMagic = "COLARM-MIP-v3"
+
+// snapshotMagicV2 is the previous format, accepted read-only.
+const snapshotMagicV2 = "COLARM-MIP-v2"
 
 // SnapshotMeta is the engine-level state a snapshot carries alongside
 // the index itself.
@@ -149,8 +159,8 @@ func ReadSnapshot(r io.Reader) (*Index, SnapshotMeta, error) {
 	if err := dec.Decode(&magic); err != nil {
 		return nil, SnapshotMeta{}, fmt.Errorf("mip: %w: stream does not start with a snapshot version marker", qerr.ErrSnapshotVersion)
 	}
-	if magic != snapshotMagic {
-		return nil, SnapshotMeta{}, fmt.Errorf("mip: %w: snapshot is %q, this build reads %q", qerr.ErrSnapshotVersion, magic, snapshotMagic)
+	if magic != snapshotMagic && magic != snapshotMagicV2 {
+		return nil, SnapshotMeta{}, fmt.Errorf("mip: %w: snapshot is %q, this build reads %q (and %q read-only)", qerr.ErrSnapshotVersion, magic, snapshotMagic, snapshotMagicV2)
 	}
 	var snap snapshot
 	if err := dec.Decode(&snap); err != nil {

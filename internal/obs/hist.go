@@ -44,8 +44,15 @@ func newHistogram(name, labels, help string, bounds []float64) *Histogram {
 	return h
 }
 
-// Observe records one duration.
+// Observe records one duration. A negative duration (a clock step
+// backwards, or a caller subtracting timestamps in the wrong order) is
+// clamped to zero: letting it through would land it in the first bucket
+// while driving _sum negative, corrupting quantile estimates and
+// Prometheus rate() math over the scraped series.
 func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
 	i := sort.SearchFloat64s(h.bounds, d.Seconds())
 	h.buckets[i].Add(1)
 	h.count.Add(1)

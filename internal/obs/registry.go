@@ -120,21 +120,33 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if err := header(m.name, m.help, "histogram"); err != nil {
 				return err
 			}
+			// Snapshot every bucket slot (including the implicit +Inf
+			// slot) once, and derive the +Inf series and _count from
+			// that same snapshot. Observe adds to the bucket before the
+			// count, so reading m.Count() after the finite buckets could
+			// see a count below the last cumulative bucket — rendering a
+			// non-monotone histogram that Prometheus rejects as corrupt.
+			counts := make([]int64, len(m.buckets))
+			total := int64(0)
+			for i := range m.buckets {
+				counts[i] = m.buckets[i].Load()
+				total += counts[i]
+			}
 			cum := int64(0)
 			for i, b := range m.bounds {
-				cum += m.buckets[i].Load()
+				cum += counts[i]
 				le := strconv.FormatFloat(b, 'g', -1, 64)
 				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, renderLabels(m.labels, `le="`+le+`"`), cum); err != nil {
 					return err
 				}
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, renderLabels(m.labels, `le="+Inf"`), m.Count()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, renderLabels(m.labels, `le="+Inf"`), total); err != nil {
 				return err
 			}
 			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", m.name, renderLabels(m.labels, ""), m.Sum().Seconds()); err != nil {
 				return err
 			}
-			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, renderLabels(m.labels, ""), m.Count()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, renderLabels(m.labels, ""), total); err != nil {
 				return err
 			}
 		}
