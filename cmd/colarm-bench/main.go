@@ -46,6 +46,16 @@
 //	-tidset-iters N   timing iterations per kernel (default 5)
 //	-bench-out FILE   write the JSON report to FILE
 //
+// -shards runs the scatter-gather benchmark: the same read workload is
+// replayed against engines built with increasing shard counts — fresh,
+// aged by ingest batches, while a consolidation runs (the engine keeps
+// serving; only drifted shards re-mine), and on the consolidated
+// result — charting shard count against query latency and rebuild
+// pause:
+//
+//	-shards           run the scatter-gather benchmark
+//	-shard-counts L   comma-separated shard counts (default 1,2,4,8)
+//
 // Observability flags:
 //
 //	-metrics ADDR       serve engine metrics (Prometheus text format) at
@@ -74,6 +84,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"colarm/internal/bench"
@@ -101,11 +113,20 @@ func main() {
 		tidsetRecs = flag.Int("tidset-records", 1<<20, "universe size (records) for -tidset")
 		tidsetItem = flag.Int("tidset-items", 48, "item tidsets per density level for -tidset")
 		tidsetIter = flag.Int("tidset-iters", 5, "timing iterations per kernel for -tidset (minimum is reported)")
-		benchOut   = flag.String("bench-out", "", "write the -tidset report as JSON to this file (e.g. BENCH_6.json)")
+		shards     = flag.Bool("shards", false, "run the scatter-gather benchmark (shard count vs latency vs rebuild pause)")
+		shardKs    = flag.String("shard-counts", "1,2,4,8", "comma-separated shard counts for -shards")
+		benchOut   = flag.String("bench-out", "", "write the -tidset or -shards report as JSON to this file (e.g. BENCH_7.json)")
 	)
 	flag.Parse()
 	if *tidset {
 		if err := runTidset(*tidsetRecs, *tidsetItem, *tidsetIter, *seed, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "colarm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shards {
+		if err := runShards(*shardKs, *full, *clients, *queries, *batches, *batchRows, *seed, *benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "colarm-bench:", err)
 			os.Exit(1)
 		}
@@ -124,6 +145,51 @@ func main() {
 func runTidset(records, items, iters int, seed int64, out string) error {
 	rep := bench.RunTidset(records, items, iters, seed)
 	bench.PrintTidset(os.Stdout, rep)
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", out)
+	return nil
+}
+
+// runShards runs the scatter-gather benchmark over the given shard
+// counts and optionally persists the JSON report (BENCH_<pr>.json).
+func runShards(counts string, full bool, clients, perClient, batches, batchRows int, seed int64, out string) error {
+	var ks []int
+	for _, part := range strings.Split(counts, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := strconv.Atoi(part)
+		if err != nil || k < 1 {
+			return fmt.Errorf("bad -shard-counts entry %q", part)
+		}
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 {
+		return fmt.Errorf("-shard-counts selected no shard counts")
+	}
+	spec, err := bench.SpecByName(bench.Specs(full, seed), "mushroom")
+	if err != nil {
+		return err
+	}
+	rep, err := bench.RunShards(spec, ks, clients, perClient, batches, batchRows, seed)
+	if err != nil {
+		return err
+	}
+	bench.PrintShards(os.Stdout, rep)
 	if out == "" {
 		return nil
 	}

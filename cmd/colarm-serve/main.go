@@ -20,6 +20,10 @@
 //	-seed N           generator seed for builtin synthetic datasets
 //	-workers N        per-query worker pool bound (0 = GOMAXPROCS)
 //	-calibrate        micro-benchmark the cost model's unit costs
+//	-shards K         hash-partition each dataset into K shards; queries
+//	                  scatter-gather with exact recombination and
+//	                  /v1/datasets reports per-shard staleness (0 or 1 =
+//	                  monolithic)
 //	-max-inflight N   concurrent mining queries (default 8)
 //	-max-queue N      admission wait-queue length (default 32)
 //	-queue-wait D     max time in the admission queue (default 2s)
@@ -69,6 +73,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "generator seed for builtin synthetic datasets")
 		workers  = flag.Int("workers", 0, "per-query worker pool bound (0 = GOMAXPROCS)")
 		calib    = flag.Bool("calibrate", false, "micro-benchmark the cost model's unit costs")
+		shards   = flag.Int("shards", 0, "hash-partition each dataset into K shards (0 or 1 = monolithic)")
 
 		maxInFlight  = flag.Int("max-inflight", 0, "concurrent mining queries (0 = default 8)")
 		maxQueue     = flag.Int("max-queue", 0, "admission wait-queue length (0 = default 32)")
@@ -82,7 +87,7 @@ func main() {
 	flag.Var(&csvs, "csv", "headed CSV file to index (repeatable)")
 	flag.Parse()
 
-	if err := run(*addr, *datasets, snapshots, csvs, *primary, *seed, *workers, *calib, server.Config{
+	if err := run(*addr, *datasets, snapshots, csvs, *primary, *seed, *workers, *calib, *shards, server.Config{
 		MaxInFlight:  *maxInFlight,
 		MaxQueue:     *maxQueue,
 		QueueWait:    *queueWait,
@@ -95,9 +100,9 @@ func main() {
 	}
 }
 
-func run(addr, datasets string, snapshots, csvs []string, primary float64, seed int64, workers int, calibrate bool, cfg server.Config) error {
+func run(addr, datasets string, snapshots, csvs []string, primary float64, seed int64, workers int, calibrate bool, shards int, cfg server.Config) error {
 	metrics := colarm.NewMetricsRegistry()
-	opts := colarm.Options{Workers: workers, Calibrate: calibrate, Metrics: metrics}
+	opts := colarm.Options{Workers: workers, Calibrate: calibrate, Metrics: metrics, Shards: shards}
 	reg := server.NewRegistry()
 	registered := 0
 

@@ -175,6 +175,14 @@ type Options struct {
 	// datasets stay distinguishable in one exposition — the serving
 	// layer opens all its engines against a single shared registry.
 	Metrics *MetricsRegistry
+	// Shards partitions the records into K hash-routed shards: queries
+	// scatter to all shards in parallel and gather exactly recombined
+	// results (summed supports, recomputed confidences, closure-merged
+	// catalogs), ingested rows route by record id, and rebuilds
+	// consolidate shard-by-shard while the engine keeps serving. 0 or 1
+	// keeps the engine monolithic; answers are identical — rule for
+	// rule, counter for counter — at every K.
+	Shards int
 }
 
 // Query is one localized mining request.
@@ -301,11 +309,21 @@ func Open(ds *Dataset, opts Options) (*Engine, error) {
 		Workers:        opts.Workers,
 		AccuracyTol:    opts.AccuracyTolerance,
 		Metrics:        opts.Metrics.registry(),
+		Shards:         opts.Shards,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Engine{eng: eng, ds: ds, trackAccuracy: opts.TrackAccuracy, opts: opts}, nil
+}
+
+// NumShards returns the engine's shard count (1 for a monolithic
+// engine).
+func (e *Engine) NumShards() int {
+	if c := e.eng.Coll; c != nil {
+		return c.NumShards()
+	}
+	return 1
 }
 
 // NumPartitions returns the number of prestored multidimensional

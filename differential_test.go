@@ -1,6 +1,8 @@
 package colarm
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -354,4 +356,257 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestShardDifferential checks that a sharded engine is indistinguishable
+// from the monolithic one: for K in {1, 2, 3, 7}, serial and parallel,
+// all six forced plans must return byte-identical rules AND statistics
+// on randomized datasets — fresh, with a live delta (inserts and
+// deletes), after a rebuild (compacting monolith vs ghost-preserving
+// sharded consolidation), and after post-rebuild ingestion. The small
+// random item spaces keep the scatter catalog (per-shard mining + cross-
+// shard closure merge) active, so the merge path is what answers the
+// delta-view and consolidation phases. K=1 additionally pins the Auto
+// plan and byte-identical snapshots under the v3 magic; every K checks
+// the sharded snapshot round-trips through save/load.
+func TestShardDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	totalRules := 0
+	for _, k := range []int{1, 2, 3, 7} {
+		totalRules += runShardDifferential(t, rng, k)
+	}
+	if totalRules == 0 {
+		t.Fatal("no shard trial produced any rules; the differential comparison is vacuous")
+	}
+}
+
+func runShardDifferential(t *testing.T, rng *rand.Rand, k int) int {
+	t.Helper()
+	cfg := randomDiffConfig(rng, 100+k)
+	d, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatalf("K=%d: generate: %v", k, err)
+	}
+	ds := &Dataset{rel: d}
+	primary := 0.15 + 0.2*rng.Float64()
+	mono, err := Open(ds, Options{PrimarySupport: primary, Workers: 1})
+	if err != nil {
+		t.Fatalf("K=%d: open monolith: %v", k, err)
+	}
+	ser, err := Open(ds, Options{PrimarySupport: primary, Workers: 1, Shards: k})
+	if err != nil {
+		t.Fatalf("K=%d: open sharded serial: %v", k, err)
+	}
+	par, err := Open(ds, Options{PrimarySupport: primary, Workers: 4, Shards: k})
+	if err != nil {
+		t.Fatalf("K=%d: open sharded parallel: %v", k, err)
+	}
+
+	queries := make([]Query, 2)
+	for i := range queries {
+		queries[i] = randomDiffQuery(rng, ds)
+	}
+	forced := []Plan{SEV, SVS, SSEV, SSVS, SSEUV, ARM}
+
+	totalRules := 0
+	compare := func(stage string) {
+		t.Helper()
+		for qi, q := range queries {
+			plansToRun := forced
+			if k == 1 {
+				// At K=1 the scatter cost terms vanish, so even the
+				// optimizer's choice must match the monolith.
+				plansToRun = append(plansToRun, Auto)
+			}
+			for _, plan := range plansToRun {
+				pq := q
+				pq.Plan = plan
+				label := fmt.Sprintf("K=%d %s query %d plan %s", k, stage, qi, plan)
+				resM, err := mono.Mine(pq)
+				if err != nil {
+					t.Fatalf("%s: monolith: %v", label, err)
+				}
+				resS, err := ser.Mine(pq)
+				if err != nil {
+					t.Fatalf("%s: sharded serial: %v", label, err)
+				}
+				resP, err := par.Mine(pq)
+				if err != nil {
+					t.Fatalf("%s: sharded parallel: %v", label, err)
+				}
+				if !reflect.DeepEqual(resS.Rules, resM.Rules) {
+					t.Fatalf("%s: sharded rules differ from monolith\ngot:  %v\nwant: %v",
+						label, resS.Rules, resM.Rules)
+				}
+				if !reflect.DeepEqual(resP.Rules, resM.Rules) {
+					t.Fatalf("%s: parallel sharded rules differ from monolith", label)
+				}
+				sm, ss, sp := resM.Stats, resS.Stats, resP.Stats
+				sm.DurationNanos, ss.DurationNanos, sp.DurationNanos = 0, 0, 0
+				if ss != sm {
+					t.Fatalf("%s: sharded stats differ from monolith\nmonolith: %+v\nsharded:  %+v",
+						label, sm, ss)
+				}
+				if sp != sm {
+					t.Fatalf("%s: parallel sharded stats differ from monolith\nmonolith: %+v\nsharded:  %+v",
+						label, sm, sp)
+				}
+				totalRules += len(resM.Rules)
+			}
+			// The Auto choice may legitimately differ at K > 1 (the
+			// model prices the scatter overhead), but serial and
+			// parallel sharded engines share one model: their choices
+			// and answers must agree with each other.
+			if k > 1 {
+				pq := q
+				pq.Plan = Auto
+				resS, err := ser.Mine(pq)
+				if err != nil {
+					t.Fatalf("K=%d %s query %d auto serial: %v", k, stage, qi, err)
+				}
+				resP, err := par.Mine(pq)
+				if err != nil {
+					t.Fatalf("K=%d %s query %d auto parallel: %v", k, stage, qi, err)
+				}
+				if resS.Stats.Plan != resP.Stats.Plan || !reflect.DeepEqual(resS.Rules, resP.Rules) {
+					t.Fatalf("K=%d %s query %d: auto diverges between serial and parallel sharded engines", k, stage, qi)
+				}
+			}
+		}
+	}
+
+	compare("fresh")
+
+	// Live delta: one batch of inserts plus deletes, applied to all
+	// three engines identically (the id spaces coincide until a
+	// rebuild). The per-shard staleness must tile the global counters.
+	ins, dels := randomIngestBatch(rng, ds, d.NumRecords(), true)
+	for name, e := range map[string]*Engine{"monolith": mono, "sharded serial": ser, "sharded parallel": par} {
+		if _, err := e.Ingest(ins, dels); err != nil {
+			t.Fatalf("K=%d: ingest into %s: %v", k, name, err)
+		}
+	}
+	if k > 1 {
+		st := ser.Staleness()
+		if len(st.Shards) != k {
+			t.Fatalf("K=%d: staleness reports %d shards", k, len(st.Shards))
+		}
+		buf, tomb, recs := 0, 0, 0
+		for _, ss := range st.Shards {
+			buf += ss.BufferedRows
+			tomb += ss.Tombstones
+			recs += ss.Records
+		}
+		if buf != st.BufferedRows || tomb != st.Tombstones {
+			t.Fatalf("K=%d: per-shard staleness does not tile the global counters: %+v", k, st)
+		}
+		if recs <= 0 {
+			t.Fatalf("K=%d: per-shard record counts sum to %d", k, recs)
+		}
+	}
+	compare("delta")
+
+	// K=1 must also persist byte-for-byte like the monolith, under the
+	// v3 snapshot magic (no sharded engine exists at K=1, so nothing
+	// may leak into the stream).
+	if k == 1 {
+		var bufM, bufS bytes.Buffer
+		if err := mono.Save(&bufM); err != nil {
+			t.Fatalf("K=1: save monolith: %v", err)
+		}
+		if err := ser.Save(&bufS); err != nil {
+			t.Fatalf("K=1: save sharded: %v", err)
+		}
+		if !bytes.Equal(bufM.Bytes(), bufS.Bytes()) {
+			t.Fatalf("K=1: snapshot bytes differ from monolith (%d vs %d bytes)", bufM.Len(), bufS.Len())
+		}
+		if !bytes.Contains(bufS.Bytes()[:64], []byte("COLARM-MIP-v3")) {
+			t.Fatalf("K=1: snapshot does not carry the v3 magic")
+		}
+	}
+
+	// Rebuild: the monolith compacts record ids; the sharded engines
+	// consolidate, keeping deleted rows as ghosts so the hash routing
+	// stays stable. Every query surface must still agree exactly.
+	ctx := context.Background()
+	mono2, err := mono.Rebuild(ctx)
+	if err != nil {
+		t.Fatalf("K=%d: rebuild monolith: %v", k, err)
+	}
+	ser2, err := ser.Rebuild(ctx)
+	if err != nil {
+		t.Fatalf("K=%d: rebuild sharded serial: %v", k, err)
+	}
+	par2, err := par.Rebuild(ctx)
+	if err != nil {
+		t.Fatalf("K=%d: rebuild sharded parallel: %v", k, err)
+	}
+	mono, ser, par = mono2, ser2, par2
+	compare("rebuilt")
+
+	// The consolidated sharded snapshot (v4 when ghosts exist) must
+	// round-trip through save/load and keep answering exactly.
+	var snap bytes.Buffer
+	if err := ser.Save(&snap); err != nil {
+		t.Fatalf("K=%d: save consolidated: %v", k, err)
+	}
+	loaded, err := LoadEngine(bytes.NewReader(snap.Bytes()), Options{Workers: 1, Shards: k})
+	if err != nil {
+		t.Fatalf("K=%d: load consolidated: %v", k, err)
+	}
+	for qi, q := range queries {
+		for _, plan := range forced {
+			pq := q
+			pq.Plan = plan
+			resM, err := mono.Mine(pq)
+			if err != nil {
+				t.Fatalf("K=%d loaded query %d plan %s: monolith: %v", k, qi, plan, err)
+			}
+			resL, err := loaded.Mine(pq)
+			if err != nil {
+				t.Fatalf("K=%d loaded query %d plan %s: %v", k, qi, plan, err)
+			}
+			sm, sl := resM.Stats, resL.Stats
+			sm.DurationNanos, sl.DurationNanos = 0, 0
+			if !reflect.DeepEqual(resL.Rules, resM.Rules) || sl != sm {
+				t.Fatalf("K=%d loaded query %d plan %s: loaded snapshot diverges from monolith", k, qi, plan)
+			}
+		}
+	}
+
+	// Post-rebuild ingestion: inserts only — after a rebuild the id
+	// spaces legitimately diverge (the monolith renumbered, the shards
+	// did not), so a delete id would name different records.
+	ins2, _ := randomIngestBatch(rng, ds, 0, false)
+	for name, e := range map[string]*Engine{"monolith": mono, "sharded serial": ser, "sharded parallel": par} {
+		if _, err := e.Ingest(ins2, nil); err != nil {
+			t.Fatalf("K=%d: post-rebuild ingest into %s: %v", k, name, err)
+		}
+	}
+	compare("post-rebuild delta")
+
+	return totalRules
+}
+
+// randomIngestBatch builds a random label-form insert batch over the
+// dataset's vocabulary, plus (optionally) random deletes over the id
+// space [0, idSpace).
+func randomIngestBatch(rng *rand.Rand, ds *Dataset, idSpace int, withDeletes bool) ([]map[string]string, []int) {
+	attrs := ds.Attributes()
+	ins := make([]map[string]string, 3+rng.Intn(6))
+	for i := range ins {
+		rec := make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			vals, _ := ds.Values(a)
+			rec[a] = vals[rng.Intn(len(vals))]
+		}
+		ins[i] = rec
+	}
+	var dels []int
+	if withDeletes {
+		for n := 1 + rng.Intn(4); n > 0; n-- {
+			dels = append(dels, rng.Intn(idSpace))
+		}
+	}
+	return ins, dels
 }

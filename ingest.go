@@ -33,6 +33,24 @@ type Staleness struct {
 	// RebuildRecommended reports that buffering now costs more than
 	// rebuilding: the cost-based refresh policy's break-even point.
 	RebuildRecommended bool
+	// Shards breaks the drift down per shard on a sharded engine
+	// (Options.Shards >= 2); nil on a monolithic one. The per-shard
+	// BufferedRows and Tombstones sum to the global counters above.
+	Shards []ShardStaleness
+}
+
+// ShardStaleness is one shard's slice of a sharded engine's drift.
+type ShardStaleness struct {
+	// Shard is the shard number in [0, K).
+	Shard int
+	// Records counts the live records the shard currently owns.
+	Records int
+	// BufferedRows counts live buffered inserts routed to this shard.
+	BufferedRows int
+	// Tombstones counts deletions of records this shard owns.
+	Tombstones int
+	// Version ticks on every ingest batch touching the shard.
+	Version uint64
 }
 
 // Ingest buffers live transactions — inserts and deletes — without
@@ -101,7 +119,7 @@ func (e *Engine) Staleness() Staleness {
 }
 
 func (e *Engine) wrapStaleness(st delta.Staleness) Staleness {
-	return Staleness{
+	out := Staleness{
 		BufferedRows:       st.BufferedRows,
 		Tombstones:         st.Tombstones,
 		Version:            st.Version,
@@ -110,6 +128,16 @@ func (e *Engine) wrapStaleness(st delta.Staleness) Staleness {
 		RebuildCost:        st.RebuildCost,
 		RebuildRecommended: st.RebuildRecommended,
 	}
+	for _, ss := range e.eng.ShardStats() {
+		out.Shards = append(out.Shards, ShardStaleness{
+			Shard:        ss.Shard,
+			Records:      ss.Records,
+			BufferedRows: ss.BufferedRows,
+			Tombstones:   ss.Tombstones,
+			Version:      ss.Version,
+		})
+	}
+	return out
 }
 
 // Generation counts full rebuilds since the engine was opened (0 for a

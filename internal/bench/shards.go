@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"colarm/internal/core"
+	"colarm/internal/plans"
+)
+
+// CurrentPR stamps freshly generated BENCH_<pr>.json perf-trajectory
+// artifacts with the PR that produced them.
+const CurrentPR = 7
+
+// The shards benchmark measures what hash-partitioning costs and buys:
+// for each shard count K the same read workload is replayed against a
+// fresh index (the scatter-gather overhead in its purest form), against
+// an aged index carrying a delta (per-shard clocks dirty), and while a
+// consolidation runs (the engine keeps serving — only drifted shards
+// re-mine, so the "pause" is the consolidation's wall time, not a stop
+// of the world), then once more on the consolidated result.
+
+// ShardRow is one shard count's measurements.
+type ShardRow struct {
+	Shards  int   `json:"shards"`
+	BuildNs int64 `json:"build_ns"` // offline phase: index + collection
+
+	FreshP50Ns int64 `json:"fresh_p50_ns"`
+	FreshP99Ns int64 `json:"fresh_p99_ns"`
+	StaleP50Ns int64 `json:"stale_p50_ns"` // reads over base+delta
+	StaleP99Ns int64 `json:"stale_p99_ns"`
+
+	// Reads racing the consolidation, and the consolidation itself.
+	DuringP50Ns    int64 `json:"during_p50_ns"`
+	DuringP99Ns    int64 `json:"during_p99_ns"`
+	RebuildPauseNs int64 `json:"rebuild_pause_ns"`
+
+	RebuiltP50Ns int64 `json:"rebuilt_p50_ns"`
+	RebuiltP99Ns int64 `json:"rebuilt_p99_ns"`
+}
+
+// ShardReport is the serialized artifact (BENCH_<pr>.json).
+type ShardReport struct {
+	Bench     string     `json:"bench"`
+	PR        int        `json:"pr"`
+	GoVersion string     `json:"go_version"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	CPUs      int        `json:"cpus"`
+	Dataset   string     `json:"dataset"`
+	Records   int        `json:"records"`
+	Reads     int        `json:"reads"`
+	Rows      []ShardRow `json:"rows"`
+}
+
+// RunShards measures scatter-gather mining across shard counts. One
+// dataset and one read workload (clients × perClient queries, built
+// once — regions name items of the shared space, so they are valid on
+// every engine); for each K in ks a fresh engine is built with K
+// shards and pushed through the four phases. batches × batchRows rows
+// plus a few deletes age the engine between the fresh and stale reads.
+func RunShards(spec DatasetSpec, ks []int, clients, perClient, batches, batchRows int, seed int64) (*ShardReport, error) {
+	if clients < 1 || perClient < 1 || batches < 1 || batchRows < 1 {
+		return nil, fmt.Errorf("bench: clients (%d), reads per client (%d), batches (%d) and batch rows (%d) must be positive",
+			clients, perClient, batches, batchRows)
+	}
+	env, err := Setup(spec)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := clients * perClient
+	queries := make([]*plans.Query, total)
+	for i := range queries {
+		frac := spec.DQFracs[i%len(spec.DQFracs)]
+		queries[i] = env.QueryFor(env.RandomFocalSubset(rng, frac), spec.MinSupps[0], spec.MinConfs[0])
+	}
+
+	rep := &ShardReport{
+		Bench:     "shards",
+		PR:        CurrentPR,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Dataset:   spec.Name,
+		Records:   env.Dataset.NumRecords(),
+		Reads:     total,
+	}
+
+	for _, k := range ks {
+		row := ShardRow{Shards: k}
+		t0 := time.Now()
+		eng, err := core.NewEngine(env.Dataset, core.Options{
+			PrimarySupport: spec.Primary,
+			CheckMode:      plans.ScanCheck,
+			Shards:         k,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: K=%d: %w", k, err)
+		}
+		row.BuildNs = time.Since(t0).Nanoseconds()
+
+		if _, _, err := eng.Mine(queries[0]); err != nil { // warm-up, untimed
+			return nil, fmt.Errorf("bench: K=%d warm-up: %w", k, err)
+		}
+		fresh, err := replayReads(eng, queries, clients, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: K=%d fresh: %w", k, err)
+		}
+		row.FreshP50Ns = percentile(fresh, 50).Nanoseconds()
+		row.FreshP99Ns = percentile(fresh, 99).Nanoseconds()
+
+		// Age the engine: sampled rows are valid against the frozen
+		// vocabulary; a few base records get tombstoned.
+		wrng := rand.New(rand.NewSource(seed + int64(k)))
+		for b := 0; b < batches; b++ {
+			rows := make([][]int32, batchRows)
+			for i := range rows {
+				r := wrng.Intn(env.Dataset.NumRecords())
+				rec := make([]int32, env.Dataset.NumAttrs())
+				for a := range rec {
+					rec[a] = int32(env.Dataset.Value(r, a))
+				}
+				rows[i] = rec
+			}
+			var dels []int
+			if wrng.Intn(2) == 0 {
+				dels = append(dels, wrng.Intn(env.Dataset.NumRecords()))
+			}
+			if _, err := eng.Ingest(rows, dels); err != nil {
+				return nil, fmt.Errorf("bench: K=%d ingest: %w", k, err)
+			}
+		}
+		stale, err := replayReads(eng, queries, clients, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: K=%d stale: %w", k, err)
+		}
+		row.StaleP50Ns = percentile(stale, 50).Nanoseconds()
+		row.StaleP99Ns = percentile(stale, 99).Nanoseconds()
+
+		// Consolidate while the read workload keeps hitting the old
+		// engine — the serving story: no pause, just the rebuild's own
+		// wall time on the side.
+		type rebuilt struct {
+			eng *core.Engine
+			ns  int64
+			err error
+		}
+		done := make(chan rebuilt, 1)
+		go func() {
+			t := time.Now()
+			fresh, err := eng.Rebuild(context.Background())
+			done <- rebuilt{fresh, time.Since(t).Nanoseconds(), err}
+		}()
+		during, err := replayReads(eng, queries, clients, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: K=%d during-rebuild: %w", k, err)
+		}
+		rb := <-done
+		if rb.err != nil {
+			return nil, fmt.Errorf("bench: K=%d rebuild: %w", k, rb.err)
+		}
+		row.DuringP50Ns = percentile(during, 50).Nanoseconds()
+		row.DuringP99Ns = percentile(during, 99).Nanoseconds()
+		row.RebuildPauseNs = rb.ns
+
+		after, err := replayReads(rb.eng, queries, clients, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: K=%d rebuilt: %w", k, err)
+		}
+		row.RebuiltP50Ns = percentile(after, 50).Nanoseconds()
+		row.RebuiltP99Ns = percentile(after, 99).Nanoseconds()
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// WriteJSON serializes the report as indented JSON.
+func (r *ShardReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// PrintShards renders the report as a table of K against latency and
+// rebuild pause.
+func PrintShards(w io.Writer, rep *ShardReport) {
+	fmt.Fprintf(w, "Scatter-gather benchmark — %s, %d records, %d reads/phase (%s/%s, %d CPUs)\n",
+		rep.Dataset, rep.Records, rep.Reads, rep.GOOS, rep.GOARCH, rep.CPUs)
+	fmt.Fprintf(w, "%-7s %10s %10s %10s %10s %10s %10s %10s %12s\n",
+		"shards", "build", "fresh p50", "fresh p99", "stale p50", "stale p99",
+		"during p99", "rebuilt p50", "rebuild")
+	for _, row := range rep.Rows {
+		ms := func(ns int64) string { return time.Duration(ns).Round(time.Microsecond).String() }
+		fmt.Fprintf(w, "%-7d %10s %10s %10s %10s %10s %10s %10s %12s\n",
+			row.Shards, ms(row.BuildNs), ms(row.FreshP50Ns), ms(row.FreshP99Ns),
+			ms(row.StaleP50Ns), ms(row.StaleP99Ns), ms(row.DuringP99Ns),
+			ms(row.RebuiltP50Ns), ms(row.RebuildPauseNs))
+	}
+}

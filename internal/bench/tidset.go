@@ -32,13 +32,20 @@ import (
 
 // TidsetRow is one (density, layout, mode) measurement.
 type TidsetRow struct {
-	Density     float64 `json:"density"`
-	Clustered   bool    `json:"clustered"`
-	Mode        string  `json:"mode"` // "dense" or "hybrid"
-	Bytes       int64   `json:"bytes"`
-	SelectNs    int64   `json:"select_ns"`
-	EliminateNs int64   `json:"eliminate_ns"`
-	VerifyNs    int64   `json:"verify_ns"`
+	Density   float64 `json:"density"`
+	Clustered bool    `json:"clustered"`
+	Mode      string  `json:"mode"` // "dense" or "hybrid"
+	// Bytes is the logical container footprint (sum of Set.Bytes), an
+	// exact but allocator-blind number. HeapBytes is what the sets
+	// actually cost the process: the live-heap delta of building them,
+	// measured after a forced GC on each side and averaged over three
+	// builds so one stray allocation or background sweep cannot skew
+	// the committed BENCH_*.json numbers.
+	Bytes       int64 `json:"bytes"`
+	HeapBytes   int64 `json:"heap_bytes"`
+	SelectNs    int64 `json:"select_ns"`
+	EliminateNs int64 `json:"eliminate_ns"`
+	VerifyNs    int64 `json:"verify_ns"`
 }
 
 // TidsetReport is the serialized benchmark artifact (BENCH_<pr>.json).
@@ -66,7 +73,7 @@ func TidsetDensities() []float64 { return []float64{0.0005, 0.005, 0.05, 0.5} }
 func RunTidset(records, items, iters int, seed int64) *TidsetReport {
 	rep := &TidsetReport{
 		Bench:     "tidset",
-		PR:        6,
+		PR:        CurrentPR,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -122,11 +129,16 @@ func tidsetIDs(rng *rand.Rand, records, items int, density float64, clustered bo
 // measureTidset builds the tidsets under the current representation
 // policy and times the three kernels.
 func measureTidset(records int, ids [][]int, iters int) TidsetRow {
-	tids := make([]*bitset.Set, len(ids))
-	for i, list := range ids {
-		tids[i] = bitset.FromIDs(records, list...)
-		tids[i].Optimize()
+	build := func() []*bitset.Set {
+		out := make([]*bitset.Set, len(ids))
+		for i, list := range ids {
+			out[i] = bitset.FromIDs(records, list...)
+			out[i].Optimize()
+		}
+		return out
 	}
+	heap := heapBytesOf(func() any { return build() })
+	tids := build()
 
 	// SELECT: region build — three restricted attributes, each the union
 	// of a sixth of the item vocabulary, intersected into a full set.
@@ -184,10 +196,35 @@ func measureTidset(records int, ids [][]int, iters int) TidsetRow {
 	bytes += int64(dq.Bytes())
 	return TidsetRow{
 		Bytes:       bytes,
+		HeapBytes:   heap,
 		SelectNs:    selectNs,
 		EliminateNs: eliminateNs,
 		VerifyNs:    verifyNs,
 	}
+}
+
+// heapBytesOf measures the live-heap cost of whatever build allocates:
+// force a full GC, read the heap watermark, build, force another GC (so
+// only what build keeps alive remains), read again. The delta is
+// averaged over three builds — single-shot ReadMemStats deltas swing
+// with allocator slack and whatever the background sweeper was up to,
+// which made earlier BENCH_*.json memory columns unstable.
+func heapBytesOf(build func() any) int64 {
+	const runs = 3
+	var total int64
+	for i := 0; i < runs; i++ {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		obj := build()
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		if d := int64(after.HeapAlloc) - int64(before.HeapAlloc); d > 0 {
+			total += d
+		}
+		runtime.KeepAlive(obj)
+	}
+	return total / runs
 }
 
 // timeKernel reports the minimum wall time of iters runs.
@@ -218,8 +255,8 @@ func (r *TidsetReport) WriteJSON(w io.Writer) error {
 func PrintTidset(w io.Writer, rep *TidsetReport) {
 	fmt.Fprintf(w, "Tidset representation benchmark — %d records × %d item tidsets (%s/%s, %d CPUs)\n",
 		rep.Records, rep.Items, rep.GOOS, rep.GOARCH, rep.CPUs)
-	fmt.Fprintf(w, "%-9s %-9s %-7s %12s %12s %12s %12s\n",
-		"density", "layout", "mode", "bytes", "select", "eliminate", "verify")
+	fmt.Fprintf(w, "%-9s %-9s %-7s %12s %12s %12s %12s %12s\n",
+		"density", "layout", "mode", "bytes", "heap", "select", "eliminate", "verify")
 
 	// Pair dense/hybrid rows per (density, layout) to print ratios.
 	type key struct {
@@ -255,16 +292,17 @@ func PrintTidset(w io.Writer, rep *TidsetReport) {
 			if !ok {
 				continue
 			}
-			fmt.Fprintf(w, "%-9.4f %-9s %-7s %12d %12d %12d %12d\n",
+			fmt.Fprintf(w, "%-9.4f %-9s %-7s %12d %12d %12d %12d %12d\n",
 				row.Density, layout(row.Clustered), row.Mode,
-				row.Bytes, row.SelectNs, row.EliminateNs, row.VerifyNs)
+				row.Bytes, row.HeapBytes, row.SelectNs, row.EliminateNs, row.VerifyNs)
 		}
 		d, okD := pair["dense"]
 		h, okH := pair["hybrid"]
 		if okD && okH && d.Bytes > 0 {
-			fmt.Fprintf(w, "%-9s %-9s %-7s %11.2fx %11.2fx %11.2fx %11.2fx\n",
+			fmt.Fprintf(w, "%-9s %-9s %-7s %11.2fx %11.2fx %11.2fx %11.2fx %11.2fx\n",
 				"", "", "ratio",
-				ratio(h.Bytes, d.Bytes), ratio(h.SelectNs, d.SelectNs),
+				ratio(h.Bytes, d.Bytes), ratio(h.HeapBytes, d.HeapBytes),
+				ratio(h.SelectNs, d.SelectNs),
 				ratio(h.EliminateNs, d.EliminateNs), ratio(h.VerifyNs, d.VerifyNs))
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"colarm/internal/qerr"
 	"colarm/internal/relation"
 	"colarm/internal/rtree"
+	"colarm/internal/shard"
 )
 
 // Options configures engine construction.
@@ -50,6 +51,16 @@ type Options struct {
 	// plan choice still counts as correct in the accuracy tracker;
 	// <= 0 selects the paper's 5% (§5.1 methodology).
 	AccuracyTol float64
+	// Shards partitions the records into K hash-routed shards behind
+	// the collection seam; queries scatter to all shards in parallel
+	// and gather exact recombined results. 0 or 1 leaves the engine
+	// monolithic — today's single-partition layout, byte-for-byte.
+	Shards int
+	// ShardCatalog selects how a sharded engine re-establishes the
+	// merged closed-itemset catalog (shard.CatalogAuto by default:
+	// cross-shard closure merge on small item spaces, global re-mine on
+	// large ones). Ignored when Shards <= 1.
+	ShardCatalog shard.CatalogMode
 }
 
 // Engine is a ready-to-query COLARM instance over one dataset.
@@ -70,8 +81,13 @@ type Engine struct {
 	// Delta buffers transactions ingested after the index build and
 	// serves the merged execution view; queries stay exact while the
 	// base index ages. Always non-nil after NewEngine or
-	// InitObservability.
+	// InitObservability. On a sharded engine it is the collection's
+	// wrapped store, so staleness, refresh-policy and snapshot surfaces
+	// read identically for both layouts.
 	Delta *delta.Store
+	// Coll partitions the records across shards when Options.Shards is
+	// at least 2; nil on a monolithic engine.
+	Coll *shard.Collection
 
 	// Metrics is the engine's cumulative metrics registry (counters and
 	// latency histograms, Prometheus-renderable). Recording is atomic;
@@ -122,6 +138,7 @@ func NewEngine(d *relation.Dataset, opts Options) (*Engine, error) {
 	ex.Workers = opts.Workers
 	model := cost.NewModel(idx, units)
 	model.Mode = opts.CheckMode
+	model.Shards = opts.Shards
 	e := &Engine{
 		Index:    idx,
 		Executor: ex,
@@ -149,6 +166,7 @@ func Assemble(idx *mip.Index, opts Options) *Engine {
 	ex.Workers = opts.Workers
 	model := cost.NewModel(idx, units)
 	model.Mode = opts.CheckMode
+	model.Shards = opts.Shards
 	e := &Engine{Index: idx, Executor: ex, Model: model, opts: opts}
 	e.InitObservability(idx.Dataset.Name, opts.Metrics, opts.AccuracyTol)
 	return e
@@ -174,8 +192,28 @@ func (e *Engine) InitObservability(dataset string, reg *obs.Registry, accuracyTo
 			// would use.
 			primary = float64(e.Index.PrimaryCount) / float64(e.Index.Dataset.NumRecords())
 		}
-		e.Delta = delta.NewStore(e.Index, primary, e.Model.U)
-		e.Executor.ViewSource = e.Delta.View
+		if e.opts.Shards > 1 {
+			e.Coll = shard.New(e.Index, shard.Config{
+				Shards:  e.opts.Shards,
+				Catalog: e.opts.ShardCatalog,
+				Primary: primary,
+				Units:   e.Model.U,
+				MIP: mip.Options{
+					PrimarySupport: primary,
+					Fanout:         e.opts.Fanout,
+					Packing:        e.opts.Packing,
+				},
+			})
+			// The collection wraps a plain delta store: ingest routes
+			// through the collection (shard clocks), while staleness,
+			// refresh policy and snapshots read the store directly.
+			e.Delta = e.Coll.Store()
+			e.Executor.Coll = e.Coll
+			e.Executor.ViewSource = e.Coll.View
+		} else {
+			e.Delta = delta.NewStore(e.Index, primary, e.Model.U)
+			e.Executor.ViewSource = e.Delta.View
+		}
 	}
 	e.Accuracy = obs.NewAccuracyTracker(accuracyTol)
 	labels := fmt.Sprintf("dataset=%q", dataset)
@@ -253,7 +291,13 @@ func attrsTouched(q *plans.Query) int {
 // the returned staleness reports the accumulated drift and whether the
 // refresh policy now recommends a rebuild.
 func (e *Engine) Ingest(rows [][]int32, deletes []int) (delta.Staleness, error) {
-	st, err := e.Delta.Ingest(rows, deletes)
+	var st delta.Staleness
+	var err error
+	if e.Coll != nil {
+		st, err = e.Coll.Ingest(rows, deletes)
+	} else {
+		st, err = e.Delta.Ingest(rows, deletes)
+	}
 	if err != nil {
 		return st, err
 	}
@@ -266,6 +310,14 @@ func (e *Engine) Ingest(rows [][]int32, deletes []int) (delta.Staleness, error) 
 // Staleness reports the engine's drift from the merged dataset.
 func (e *Engine) Staleness() delta.Staleness { return e.Delta.Staleness() }
 
+// ShardStats reports per-shard staleness; nil on a monolithic engine.
+func (e *Engine) ShardStats() []shard.ShardStat {
+	if e.Coll == nil {
+		return nil
+	}
+	return e.Coll.ShardStats()
+}
+
 // Rebuild runs the offline phase over the merged dataset — base records
 // minus tombstones plus buffered inserts — and returns a fresh engine
 // with an empty delta, sharing this engine's metrics registry. The
@@ -275,6 +327,25 @@ func (e *Engine) Staleness() delta.Staleness { return e.Delta.Staleness() }
 func (e *Engine) Rebuild(ctx context.Context) (*Engine, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if e.Coll != nil {
+		// Sharded engines consolidate instead of compacting: record ids
+		// must stay stable for the hash routing, so deleted rows become
+		// ghosts outside the new index's Live mask. Clean shards reuse
+		// their cached catalog minings — only drifted shards re-mine —
+		// and this engine serves throughout.
+		start := time.Now()
+		idx, err := e.Coll.Consolidate()
+		if err != nil {
+			return nil, err
+		}
+		opts := e.opts
+		opts.Metrics = e.Metrics
+		fresh := Assemble(idx, opts)
+		fresh.Delta.SetRebuildCost(time.Since(start))
+		e.rebuilds.Inc()
+		e.rebuildSeconds.Observe(time.Since(start))
+		return fresh, nil
 	}
 	merged, err := e.Delta.MergedDataset()
 	if err != nil {

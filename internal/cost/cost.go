@@ -199,6 +199,11 @@ type Model struct {
 	// Mode mirrors the executor's record-level check implementation so
 	// the estimates track what will actually run.
 	Mode plans.CheckMode
+	// Shards is the engine's shard count K. Values above 1 add the
+	// scatter-gather overhead terms — per-query fan-out setup and
+	// per-check dispatch bookkeeping — to every estimate; at K <= 1 the
+	// estimates are exactly the monolithic model's.
+	Shards int
 
 	// attrFrac[a] is the fraction of stored CFIs containing an item of
 	// attribute a — the selectivity of the item-attribute filter.
@@ -560,6 +565,16 @@ func (mo *Model) estimateOne(k plans.Kind, q *plans.Query, s queryShape) Estimat
 		// bounded by global support, so the SS filter is lossless).
 		e.Qualified = nMIPs * s.qualFrac * s.maskKeep
 		e.Verify = mo.verifyCost(s, e.Qualified, q.MinConfidence)
+		if mo.Shards > 1 {
+			// Scatter-gather overhead: the focal-subset bitmap scatters
+			// to K per-shard computations, and each record-level support
+			// check fans into K partial counts that are summed back. The
+			// counting work itself is conserved (the slices partition the
+			// records), so only the dispatch bookkeeping is extra.
+			kf := float64(mo.Shards)
+			e.Search += kf * mo.U.MapOp
+			e.Eliminate += checks * (kf - 1) * mo.U.MapOp
+		}
 		e.Total = e.Search + e.Eliminate + e.Verify
 
 	case plans.ARM:
@@ -593,6 +608,12 @@ func (mo *Model) estimateOne(k plans.Kind, q *plans.Query, s queryShape) Estimat
 
 		e.Qualified = lattice / math.Max(1, s.freqItems) // closed ~ flattened
 		e.Verify = mo.verifyCost(s, e.Qualified, q.MinConfidence)
+		if mo.Shards > 1 {
+			// Scattered SELECT: per-shard fan-out setup plus the gather
+			// pass ORing K per-shard vertical representations together.
+			kf := float64(mo.Shards)
+			e.Search += kf*mo.U.MapOp + (kf-1)*float64(idx.Space.NumItems())*dqWords*mo.U.WordOp
+		}
 		e.Total = e.Search + e.Mine + e.Verify
 	}
 	return e

@@ -230,6 +230,15 @@ func (s *Store) buildViewLocked() *plans.View {
 
 	live := bitset.New(capN)
 	live.Fill()
+	if gl := s.idx.Live; gl != nil {
+		// A consolidated sharded index keeps deleted records as ghost
+		// rows; they stay dead in every merged view.
+		for r := 0; r < baseN; r++ {
+			if !gl.Contains(r) {
+				live.Remove(r)
+			}
+		}
+	}
 	s.tombs.ForEach(func(r int) bool {
 		live.Remove(r)
 		return true
@@ -372,9 +381,13 @@ func (s *Store) MergedDataset() (*relation.Dataset, error) {
 		}
 	}
 	idx := make([]int, attrs)
+	ghosts := s.idx.Live
 	for r := 0; r < d.NumRecords(); r++ {
 		if s.tombs.Contains(r) {
 			continue
+		}
+		if ghosts != nil && !ghosts.Contains(r) {
+			continue // consolidated deletion; never resurrected
 		}
 		for a := 0; a < attrs; a++ {
 			idx[a] = d.Value(r, a)

@@ -55,6 +55,13 @@ type Index struct {
 	PrimaryCount int
 	// Cards caches per-attribute cardinalities (R-tree axis sizes).
 	Cards []int
+	// Live, when non-nil, flags the records of Dataset that exist: a
+	// consolidated sharded engine absorbs deletions without renumbering
+	// record ids (hash partitioning must stay stable), so deleted rows
+	// remain in Dataset as ghosts outside Live. Nil means every record
+	// is live — the layout every monolithic build produces. Tidsets,
+	// the CFI catalog and all query surfaces cover live records only.
+	Live *bitset.Set
 
 	// Precomputed statistics for the cost model.
 	LevelStats []rtree.LevelStats
@@ -78,6 +85,18 @@ func Build(d *relation.Dataset, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	return assemble(d, sp, tidsets, res, primaryCount, opts)
+}
+
+// Assemble builds the index layers from an existing mining result. The
+// shard layer consolidates through it: after folding buffered deltas
+// into a ghost-preserving dataset and re-mining the catalog (globally or
+// via the cross-shard closure merge), Assemble packs the same IT-tree,
+// boxes and supported R-tree the offline Build would, so a consolidated
+// index answers byte-identically to a from-scratch build over the
+// compacted data. Set Live on the returned index afterwards when the
+// dataset carries ghost rows.
+func Assemble(d *relation.Dataset, sp *itemset.Space, tidsets []*bitset.Set, res *charm.Result, primaryCount int, opts Options) (*Index, error) {
 	return assemble(d, sp, tidsets, res, primaryCount, opts)
 }
 
@@ -168,7 +187,14 @@ func (x *Index) NumMIPs() int { return x.ITTree.Size() }
 
 // SubsetBitmap materializes the record bitmap of a focal-subset region.
 func (x *Index) SubsetBitmap(reg *itemset.Region) *bitset.Set {
-	return itemset.RegionTidset(reg, x.Space, x.Tidsets, x.Dataset.NumRecords())
+	dq := itemset.RegionTidset(reg, x.Space, x.Tidsets, x.Dataset.NumRecords())
+	if x.Live != nil {
+		// Ghost rows (consolidated deletions) never join a focal subset;
+		// restricted dimensions exclude them already via the live-only
+		// tidsets, but unrestricted dimensions contribute a full bitmap.
+		dq.And(x.Live)
+	}
+	return dq
 }
 
 // RegionFromSelections builds a Region from attribute-name → value-label

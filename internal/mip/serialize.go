@@ -33,13 +33,26 @@ import (
 // the live-ingestion delta (buffered rows and deletes), so a snapshot
 // taken mid-ingest restores to the exact same answers.
 //
-// v3 (this format) carries CFI tidsets in the hybrid container encoding
-// (bitset v3) instead of dense words, so sparse and clustered tidsets
-// persist compressed. The payload struct is unchanged — only the bytes
-// inside each snapCFI.Tids differ — and the bitset decoder sniffs the
+// v3 carries CFI tidsets in the hybrid container encoding (bitset v3)
+// instead of dense words, so sparse and clustered tidsets persist
+// compressed. The payload struct is unchanged — only the bytes inside
+// each snapCFI.Tids differ — and the bitset decoder sniffs the
 // per-tidset format, so v2 snapshots still load: their dense tidsets
 // are converted to the hybrid representation on read.
+//
+// v4 is the sharded layout: when the index carries a Live mask (a
+// consolidated sharded engine keeps deleted records as ghost rows so
+// hash partitioning stays stable), the mask is appended as one extra
+// gob value after the unchanged v3 payload. An index without ghosts —
+// every fresh build, and every sharded engine that has absorbed no
+// deletions, K=1 included — still writes the exact v3 stream, so v3
+// readers round-trip those snapshots unchanged; only ghost-carrying
+// snapshots get the v4 magic, which v3 readers reject with a typed
+// version error instead of silently resurrecting deleted rows.
 const snapshotMagic = "COLARM-MIP-v3"
+
+// snapshotMagicV4 is the sharded ghost-mask format (see above).
+const snapshotMagicV4 = "COLARM-MIP-v4"
 
 // snapshotMagicV2 is the previous format, accepted read-only.
 const snapshotMagicV2 = "COLARM-MIP-v2"
@@ -129,12 +142,27 @@ func (x *Index) WriteSnapshot(w io.Writer, meta SnapshotMeta) (int64, error) {
 		snap.CFIs = append(snap.CFIs, snapCFI{Items: items, Tids: tids, Support: c.Support})
 		snap.Boxes = append(snap.Boxes, snapBox{Lo: x.Boxes[id].Lo, Hi: x.Boxes[id].Hi})
 	}
+	magic := snapshotMagic
+	if x.Live != nil {
+		magic = snapshotMagicV4
+	}
 	enc := gob.NewEncoder(bw)
-	if err := enc.Encode(snapshotMagic); err != nil {
+	if err := enc.Encode(magic); err != nil {
 		return bw.n, fmt.Errorf("mip: encoding snapshot magic: %w", err)
 	}
 	if err := enc.Encode(&snap); err != nil {
 		return bw.n, fmt.Errorf("mip: encoding snapshot: %w", err)
+	}
+	if x.Live != nil {
+		// The ghost mask rides after the unchanged v3 payload as its own
+		// gob value, so the Live == nil stream stays byte-for-byte v3.
+		live, err := x.Live.MarshalBinary()
+		if err != nil {
+			return bw.n, err
+		}
+		if err := enc.Encode(live); err != nil {
+			return bw.n, fmt.Errorf("mip: encoding live mask: %w", err)
+		}
 	}
 	if err := bw.w.(*bufio.Writer).Flush(); err != nil {
 		return bw.n, err
@@ -159,21 +187,32 @@ func ReadSnapshot(r io.Reader) (*Index, SnapshotMeta, error) {
 	if err := dec.Decode(&magic); err != nil {
 		return nil, SnapshotMeta{}, fmt.Errorf("mip: %w: stream does not start with a snapshot version marker", qerr.ErrSnapshotVersion)
 	}
-	if magic != snapshotMagic && magic != snapshotMagicV2 {
-		return nil, SnapshotMeta{}, fmt.Errorf("mip: %w: snapshot is %q, this build reads %q (and %q read-only)", qerr.ErrSnapshotVersion, magic, snapshotMagic, snapshotMagicV2)
+	if magic != snapshotMagic && magic != snapshotMagicV4 && magic != snapshotMagicV2 {
+		return nil, SnapshotMeta{}, fmt.Errorf("mip: %w: snapshot is %q, this build reads %q and %q (and %q read-only)", qerr.ErrSnapshotVersion, magic, snapshotMagicV4, snapshotMagic, snapshotMagicV2)
 	}
 	var snap snapshot
 	if err := dec.Decode(&snap); err != nil {
 		return nil, SnapshotMeta{}, fmt.Errorf("mip: decoding snapshot: %w", err)
 	}
-	idx, err := decodeSnapshot(&snap)
+	var live *bitset.Set
+	if magic == snapshotMagicV4 {
+		var raw []byte
+		if err := dec.Decode(&raw); err != nil {
+			return nil, SnapshotMeta{}, fmt.Errorf("mip: decoding live mask: %w", err)
+		}
+		live = &bitset.Set{}
+		if err := live.UnmarshalBinary(raw); err != nil {
+			return nil, SnapshotMeta{}, fmt.Errorf("mip: live mask: %w", err)
+		}
+	}
+	idx, err := decodeSnapshot(&snap, live)
 	if err != nil {
 		return nil, SnapshotMeta{}, err
 	}
 	return idx, snap.Meta, nil
 }
 
-func decodeSnapshot(snap *snapshot) (*Index, error) {
+func decodeSnapshot(snap *snapshot, live *bitset.Set) (*Index, error) {
 	if len(snap.Attrs) == 0 {
 		return nil, fmt.Errorf("mip: snapshot has no attributes")
 	}
@@ -243,6 +282,19 @@ func decodeSnapshot(snap *snapshot) (*Index, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if live != nil {
+		if live.Len() != d.NumRecords() {
+			return nil, fmt.Errorf("mip: live mask capacity %d != %d records", live.Len(), d.NumRecords())
+		}
+		// The rebuilt per-item tidsets scanned the raw rows, ghosts
+		// included; clear the ghost bits so every query surface covers
+		// live records only, exactly as the consolidating engine left it.
+		for _, t := range idx.Tidsets {
+			t.And(live)
+			t.Optimize()
+		}
+		idx.Live = live
 	}
 	return idx, nil
 }

@@ -47,6 +47,11 @@ func (ex *Executor) runARM(ctx context.Context, q *Query) (*Result, error) {
 	skip := func(int) bool { return false }
 	if c.view != nil {
 		value, skip = c.view.Value, c.view.Skip
+	} else if live := idx.Live; live != nil {
+		// A consolidated index keeps deleted records as ghost rows (ids
+		// are never renumbered); the scan must pass over them exactly as
+		// it passes over tombstones in a delta view.
+		skip = func(r int) bool { return !live.Contains(r) }
 	}
 	tr := q.Trace
 	var t0 time.Time
@@ -66,26 +71,96 @@ func (ex *Executor) runARM(ctx context.Context, q *Query) (*Result, error) {
 			localTids[sp.ItemOf(a, v)] = bitset.New(m)
 		}
 	}
-	point := make([]int, n)
-	for r := 0; r < m; r++ {
-		if err := c.cancelled(); err != nil {
+	if c.slices != nil {
+		// Scattered SELECT: each shard scans only the records it owns
+		// (already live — ghost and tombstoned rows are outside every
+		// slice), in parallel across the worker pool, into its own
+		// vertical representation; the gather ORs the per-shard tidsets,
+		// which reproduces the monolithic scan exactly because the
+		// slices partition the live records. ARMRecordsScanned sums the
+		// per-shard scan counts — the same total the monolithic loop
+		// reports.
+		k := len(c.slices)
+		perTids := make([][]*bitset.Set, k)
+		scanned := make([]int, k)
+		_, err := parallelForCtx(ctx, k, c.workers, func(s int) {
+			tids := make([]*bitset.Set, sp.NumItems())
+			for a := 0; a < n; a++ {
+				if !c.mask[a] {
+					continue
+				}
+				for v := 0; v < sp.Cardinality(a); v++ {
+					tids[sp.ItemOf(a, v)] = bitset.New(m)
+				}
+			}
+			pt := make([]int, n)
+			polls := 0
+			c.slices[s].Records.ForEach(func(r int) bool {
+				if c.done != nil {
+					polls++
+					if polls%cancelPollStride == 0 {
+						select {
+						case <-c.done:
+							return false
+						default:
+						}
+					}
+				}
+				scanned[s]++
+				for a := 0; a < n; a++ {
+					pt[a] = value(r, a)
+				}
+				if !q.Region.ContainsPoint(pt) {
+					return true
+				}
+				for a := 0; a < n; a++ {
+					if c.mask[a] {
+						tids[sp.ItemOf(a, pt[a])].Add(r)
+					}
+				}
+				return true
+			})
+			perTids[s] = tids
+		})
+		if err == nil {
+			err = ctx.Err() // a shard scan may have aborted mid-iteration
+		}
+		if err != nil {
 			return nil, err
 		}
-		if skip(r) {
-			continue
+		for _, sc := range scanned {
+			c.st.ARMRecordsScanned += sc
 		}
-		c.st.ARMRecordsScanned++
-		for a := 0; a < n; a++ {
-			point[a] = value(r, a)
-		}
-		if !q.Region.ContainsPoint(point) {
-			continue
-		}
-		for a := 0; a < n; a++ {
-			if !c.mask[a] {
+		for it := range localTids {
+			if localTids[it] == nil {
 				continue
 			}
-			localTids[sp.ItemOf(a, point[a])].Add(r)
+			for s := 0; s < k; s++ {
+				localTids[it].Or(perTids[s][it])
+			}
+		}
+	} else {
+		point := make([]int, n)
+		for r := 0; r < m; r++ {
+			if err := c.cancelled(); err != nil {
+				return nil, err
+			}
+			if skip(r) {
+				continue
+			}
+			c.st.ARMRecordsScanned++
+			for a := 0; a < n; a++ {
+				point[a] = value(r, a)
+			}
+			if !q.Region.ContainsPoint(point) {
+				continue
+			}
+			for a := 0; a < n; a++ {
+				if !c.mask[a] {
+					continue
+				}
+				localTids[sp.ItemOf(a, point[a])].Add(r)
+			}
 		}
 	}
 

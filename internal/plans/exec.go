@@ -83,6 +83,13 @@ type Executor struct {
 	// on the frozen-index fast path. The source must be safe for
 	// concurrent calls.
 	ViewSource func() *View
+	// Coll, when non-nil, is the sharded record layout behind the index.
+	// Queries scatter their record-level work (SELECT, the ELIMINATE and
+	// VERIFY support counts, ARM's table scan) across the shards and
+	// gather by summing the per-shard counts, which is exact because the
+	// slices partition the live records. With nil Coll — or a 1-shard
+	// collection — execution takes the monolithic path unchanged.
+	Coll Collection
 }
 
 // view resolves the per-query delta view, if any.
@@ -182,6 +189,15 @@ type qctx struct {
 	tidsets []*bitset.Set
 	records int // record-id capacity
 
+	// Scatter-gather state (nil on the monolithic path). slices
+	// partition the live records across K>1 shards; dqs[s] is the focal
+	// subset restricted to shard s (their union is dq), and dqsIDs[s]
+	// its id list in scan mode. Per-shard support counts gathered by
+	// summation equal the monolithic counts exactly.
+	slices []ShardSlice
+	dqs    []*bitset.Set
+	dqsIDs [][]int
+
 	// localSupp caches CFI id → local support count (record-level check
 	// memoization across ELIMINATE's candidate occurrences).
 	localSupp map[int]int
@@ -222,13 +238,40 @@ func (ex *Executor) newCtx(ctx context.Context, q *Query) *qctx {
 		// buffered record ids with tombstoned records cleared.
 		c.view = v
 		c.tree, c.boxes, c.tidsets, c.records = v.Tree, v.Boxes, v.Tidsets, v.NumRecords
-		c.dq = itemset.RegionTidset(q.Region, ex.Idx.Space, v.Tidsets, v.NumRecords)
-		// Unrestricted dimensions contribute a full bitmap; intersect
-		// with the live set so tombstoned records stay out of D^Q.
-		c.dq.And(v.Live)
+		if len(v.Slices) > 1 {
+			c.slices = v.Slices
+		}
 	} else {
 		c.tree, c.boxes, c.tidsets = ex.Idx.ITTree, ex.Idx.Boxes, ex.Idx.Tidsets
 		c.records = ex.Idx.Dataset.NumRecords()
+		if ex.Coll != nil {
+			if slices := ex.Coll.Slices(); len(slices) > 1 {
+				c.slices = slices
+			}
+		}
+	}
+	if c.slices != nil {
+		// Scattered SELECT: build the focal subset per shard from the
+		// shard's own tidset slice, in parallel across the worker pool,
+		// then gather by union. The slices partition the live records,
+		// so the union equals the monolithic D^Q exactly.
+		c.dqs = make([]*bitset.Set, len(c.slices))
+		parallelFor(len(c.slices), c.workers, func(s int) {
+			sl := c.slices[s]
+			dq := itemset.RegionTidset(q.Region, ex.Idx.Space, sl.Items, c.records)
+			dq.And(sl.Records)
+			c.dqs[s] = dq
+		})
+		c.dq = bitset.New(c.records)
+		for _, dq := range c.dqs {
+			c.dq.Or(dq)
+		}
+	} else if c.view != nil {
+		c.dq = itemset.RegionTidset(q.Region, ex.Idx.Space, c.view.Tidsets, c.records)
+		// Unrestricted dimensions contribute a full bitmap; intersect
+		// with the live set so tombstoned records stay out of D^Q.
+		c.dq.And(c.view.Live)
+	} else {
 		c.dq = ex.Idx.SubsetBitmap(q.Region)
 	}
 	size := c.dq.Count()
@@ -246,6 +289,12 @@ func (ex *Executor) newCtx(ctx context.Context, q *Query) *qctx {
 	}
 	if c.scan {
 		c.dqIDs = c.dq.IDs()
+		if c.slices != nil {
+			c.dqsIDs = make([][]int, len(c.dqs))
+			for s, dq := range c.dqs {
+				c.dqsIDs[s] = dq.IDs()
+			}
+		}
 	}
 	return c
 }
@@ -265,6 +314,22 @@ func (c *qctx) countLocal(tids *bitset.Set) int {
 		return n
 	}
 	return bitset.AndCount(tids, c.dq)
+}
+
+// countLocalShard is countLocal restricted to shard s's share of the
+// focal subset. The per-shard subsets partition D^Q, so summing the
+// results over all shards equals countLocal exactly.
+func (c *qctx) countLocalShard(tids *bitset.Set, s int) int {
+	if c.scan {
+		n := 0
+		for _, id := range c.dqsIDs[s] {
+			if tids.Contains(id) {
+				n++
+			}
+		}
+		return n
+	}
+	return bitset.AndCount(tids, c.dqs[s])
 }
 
 // candidate is one MIP emitted by (SUPPORTED-)SEARCH.
@@ -448,14 +513,39 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) ([]qualified
 
 	// Record-level checks, fanned out. Each distinct CFI is checked once
 	// (the serial path's memoization), so SupportChecks is identical for
-	// every worker count.
+	// every worker count. On a sharded engine the fan-out is finer —
+	// one work item per (CFI, shard) pair — and the gather sums the
+	// per-shard partial counts, which equals the monolithic check
+	// because the shard subsets partition D^Q; SupportChecks still
+	// counts logical checks (one per CFI), keeping the counters
+	// byte-identical to the monolithic run.
 	c.st.SupportChecks += len(checkIDs)
 	counts := make([]int, len(checkIDs))
-	used, err := parallelForCtx(c.ctx, len(checkIDs), c.workers, func(i int) {
-		counts[i] = c.countLocal(c.tree.Set(int(checkIDs[i])).Tids)
-	})
-	if err != nil {
-		return nil, err
+	var used int
+	var err error
+	if c.slices != nil {
+		k := len(c.slices)
+		partial := make([]int, len(checkIDs)*k)
+		used, err = parallelForCtx(c.ctx, len(partial), c.workers, func(j int) {
+			partial[j] = c.countLocalShard(c.tree.Set(int(checkIDs[j/k])).Tids, j%k)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := range counts {
+			n := 0
+			for s := 0; s < k; s++ {
+				n += partial[i*k+s]
+			}
+			counts[i] = n
+		}
+	} else {
+		used, err = parallelForCtx(c.ctx, len(checkIDs), c.workers, func(i int) {
+			counts[i] = c.countLocal(c.tree.Set(int(checkIDs[i])).Tids)
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	for i, id := range checkIDs {
 		c.localSupp[int(id)] = counts[i]
@@ -520,6 +610,22 @@ func (c *qctx) countItems(x itemset.Set) int {
 			}
 		}
 		return s
+	}
+	if c.slices != nil {
+		// Scatter-gather: intersect within each shard's slice and sum.
+		// The sum equals the monolithic intersection count because the
+		// shard subsets partition D^Q — this is the summed-counts form
+		// VERIFY's confidence ratios are recomputed from on a sharded
+		// engine.
+		total := 0
+		for s, sl := range c.slices {
+			acc := bitset.Intersect(c.dqs[s], sl.Items[x[0]])
+			for _, it := range x[1:] {
+				acc.And(sl.Items[it])
+			}
+			total += acc.Count()
+		}
+		return total
 	}
 	acc := bitset.Intersect(c.dq, tidsets[x[0]])
 	for _, it := range x[1:] {

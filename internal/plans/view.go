@@ -6,6 +6,34 @@ import (
 	"colarm/internal/ittree"
 )
 
+// ShardSlice is one shard's projection of the record space: the records
+// the shard owns and the per-item tidsets restricted to those records.
+// Slices partition the live record ids — every live record belongs to
+// exactly one shard — so per-shard support counts sum to the global
+// count exactly (tidset supports are additive across a partition), which
+// is what makes scatter-gather recombination exact rather than
+// approximate. A ShardSlice is immutable once published.
+type ShardSlice struct {
+	// Records is the set of live record ids owned by the shard, in the
+	// global id space (ids are never renumbered per shard).
+	Records *bitset.Set
+	// Items maps each item to its tidset restricted to Records.
+	Items []*bitset.Set
+}
+
+// Collection abstracts a sharded record layout behind the executor: the
+// plans package sees only the number of shards and their slices, never
+// the hashing, delta routing or version clocks. A monolithic engine has
+// no Collection (nil field) and a 1-shard collection is executed on the
+// monolithic path, so K=1 is byte-identical to no sharding at all.
+type Collection interface {
+	// NumShards returns K.
+	NumShards() int
+	// Slices returns the frozen-index partition, one slice per shard.
+	// The returned slices are immutable.
+	Slices() []ShardSlice
+}
+
 // View is the index surface one query executes against when the engine
 // holds buffered post-build transactions (a live delta). It presents the
 // merged dataset — base records minus tombstones plus buffered inserts —
@@ -47,4 +75,8 @@ type View struct {
 	// resolving base ids against the base table and buffered ids
 	// against the delta store.
 	Value func(r, a int) int
+	// Slices, when the engine is sharded, partitions the merged live
+	// records across the shards (buffered inserts routed by partition
+	// key). Nil or a single slice keeps queries on the monolithic path.
+	Slices []ShardSlice
 }

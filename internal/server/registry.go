@@ -72,6 +72,20 @@ type DatasetInfo struct {
 	BufferedRows       int  `json:"bufferedRows"`
 	Tombstones         int  `json:"tombstones"`
 	RebuildRecommended bool `json:"rebuildRecommended"`
+
+	// Shards lists per-shard record counts and drift on a sharded
+	// engine (buffered inserts route by partition key); absent on a
+	// monolithic one.
+	Shards []ShardInfo `json:"shards,omitempty"`
+}
+
+// ShardInfo is one shard's slice of a dataset's staleness.
+type ShardInfo struct {
+	Shard        int    `json:"shard"`
+	Records      int    `json:"records"`
+	BufferedRows int    `json:"bufferedRows"`
+	Tombstones   int    `json:"tombstones"`
+	Version      uint64 `json:"version"`
 }
 
 // List describes every registered engine, sorted by name.
@@ -82,7 +96,7 @@ func (r *Registry) List() []DatasetInfo {
 	for name, e := range r.byName {
 		ds := e.eng.Dataset()
 		st := e.eng.Staleness()
-		out = append(out, DatasetInfo{
+		info := DatasetInfo{
 			Name:               name,
 			Records:            ds.NumRecords(),
 			Attributes:         ds.Attributes(),
@@ -91,7 +105,17 @@ func (r *Registry) List() []DatasetInfo {
 			BufferedRows:       st.BufferedRows,
 			Tombstones:         st.Tombstones,
 			RebuildRecommended: st.RebuildRecommended,
-		})
+		}
+		for _, ss := range st.Shards {
+			info.Shards = append(info.Shards, ShardInfo{
+				Shard:        ss.Shard,
+				Records:      ss.Records,
+				BufferedRows: ss.BufferedRows,
+				Tombstones:   ss.Tombstones,
+				Version:      ss.Version,
+			})
+		}
+		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -470,6 +470,17 @@ type stalenessJSON struct {
 	OverheadNanos      int64  `json:"overheadNanos"`
 	RebuildCostNanos   int64  `json:"rebuildCostNanos"`
 	RebuildRecommended bool   `json:"rebuildRecommended"`
+	// Shards breaks the drift down per shard on a sharded engine;
+	// absent on monolithic ones.
+	Shards []shardStalenessJSON `json:"shards,omitempty"`
+}
+
+type shardStalenessJSON struct {
+	Shard        int    `json:"shard"`
+	Records      int    `json:"records"`
+	BufferedRows int    `json:"bufferedRows"`
+	Tombstones   int    `json:"tombstones"`
+	Version      uint64 `json:"version"`
 }
 
 type ingestResponse struct {
@@ -484,7 +495,7 @@ type ingestResponse struct {
 }
 
 func toStalenessJSON(st colarm.Staleness) stalenessJSON {
-	return stalenessJSON{
+	out := stalenessJSON{
 		BufferedRows:       st.BufferedRows,
 		Tombstones:         st.Tombstones,
 		Version:            st.Version,
@@ -492,6 +503,16 @@ func toStalenessJSON(st colarm.Staleness) stalenessJSON {
 		RebuildCostNanos:   st.RebuildCost.Nanoseconds(),
 		RebuildRecommended: st.RebuildRecommended,
 	}
+	for _, ss := range st.Shards {
+		out.Shards = append(out.Shards, shardStalenessJSON{
+			Shard:        ss.Shard,
+			Records:      ss.Records,
+			BufferedRows: ss.BufferedRows,
+			Tombstones:   ss.Tombstones,
+			Version:      ss.Version,
+		})
+	}
+	return out
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {

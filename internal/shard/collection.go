@@ -1,0 +1,419 @@
+package shard
+
+import (
+	"fmt"
+
+	"sync"
+
+	"colarm/internal/bitset"
+	"colarm/internal/charm"
+	"colarm/internal/cost"
+	"colarm/internal/delta"
+	"colarm/internal/itemset"
+	"colarm/internal/ittree"
+	"colarm/internal/mip"
+	"colarm/internal/plans"
+	"colarm/internal/relation"
+)
+
+// CatalogMode selects how a sharded engine re-establishes the merged
+// closed-itemset catalog when the delta is live (and at consolidation).
+type CatalogMode int
+
+const (
+	// CatalogAuto scatters on small item spaces and mines globally on
+	// large ones (threshold-1 per-shard enumeration can blow up there).
+	CatalogAuto CatalogMode = iota
+	// CatalogScatter always uses per-shard mining + closure merge.
+	CatalogScatter
+	// CatalogGlobal always mines the merged tidsets globally.
+	CatalogGlobal
+)
+
+// Config configures a Collection.
+type Config struct {
+	// Shards is K; values < 1 are clamped to 1.
+	Shards int
+	// Catalog selects the closure-merge policy (default CatalogAuto).
+	Catalog CatalogMode
+	// Primary is the engine's primary-support fraction.
+	Primary float64
+	// Units are the engine's calibrated cost units (delta refresh policy).
+	Units cost.Units
+	// MIP carries the index build options used at consolidation.
+	MIP mip.Options
+}
+
+// ShardStat is one shard's slice of the engine's staleness surface,
+// served per shard by /v1/datasets so operators see which partitions
+// are drifting.
+type ShardStat struct {
+	// Shard is the shard number in [0, K).
+	Shard int `json:"shard"`
+	// Records counts the live records the shard currently owns
+	// (base minus tombstones plus buffered inserts routed here).
+	Records int `json:"records"`
+	// BufferedRows counts live buffered inserts routed to this shard.
+	BufferedRows int `json:"buffered_rows"`
+	// Tombstones counts deletions of records this shard owns.
+	Tombstones int `json:"tombstones"`
+	// Version is the shard's clock: it ticks on every ingest batch that
+	// touches the shard, so an untouched shard keeps serving its cached
+	// per-shard mining across consolidations of its siblings.
+	Version uint64 `json:"version"`
+}
+
+// Collection partitions one engine's records into K hash-routed shards
+// behind the plans.Collection seam. It wraps a single delta.Store — the
+// store's validation, merged-view construction and refresh policy are
+// layout-independent, so the collection only adds the partition: frozen
+// and merged slices, per-shard version clocks, the scatter catalog
+// (per-shard mining + closure merge), and ghost-preserving
+// consolidation. Lock order is Collection.mu, then Store.mu (the store
+// never calls back out).
+type Collection struct {
+	idx     *mip.Index
+	store   *delta.Store
+	router  *Router
+	primary float64
+	catalog CatalogMode
+	mipOpts mip.Options
+
+	mu         sync.Mutex
+	appended   int      // rows routed so far; derives buffered record ids
+	versions   []uint64 // per-shard ingest clocks
+	baseSlices []plans.ShardSlice
+
+	// viewSrc/viewDec cache the decorated merged view per store view
+	// (the store already caches one view per delta version).
+	viewSrc *plans.View
+	viewDec *plans.View
+	mines   []shardMine // per-shard threshold-1 mining cache
+}
+
+// shardMine caches one shard's threshold-1 closed sets, keyed by the
+// shard's version clock and the frequent-item universe it was mined
+// over. A clean shard (version unchanged) reuses its mining across
+// sibling ingests and consolidations — the "rebuild one shard while the
+// others serve" half of the sharded refresh story.
+type shardMine struct {
+	version uint64
+	ukey    string
+	res     *charm.Result
+}
+
+// New builds a collection over a freshly built or loaded index,
+// partitioning its live records by hash.
+func New(idx *mip.Index, cfg Config) *Collection {
+	r := NewRouter(cfg.Shards)
+	c := &Collection{
+		idx:      idx,
+		store:    delta.NewStore(idx, cfg.Primary, cfg.Units),
+		router:   r,
+		primary:  cfg.Primary,
+		catalog:  cfg.Catalog,
+		mipOpts:  cfg.MIP,
+		versions: make([]uint64, r.Shards()),
+		mines:    make([]shardMine, r.Shards()),
+	}
+	n := idx.Dataset.NumRecords()
+	live := idx.Live
+	if live == nil {
+		live = bitset.New(n)
+		live.Fill()
+	}
+	c.baseSlices = c.partition(live, idx.Tidsets, n)
+	return c
+}
+
+// NumShards returns K. Part of the plans.Collection seam.
+func (c *Collection) NumShards() int { return c.router.Shards() }
+
+// Slices returns the frozen-index partition. Part of the
+// plans.Collection seam; the executor consults it only when no delta
+// view is live.
+func (c *Collection) Slices() []plans.ShardSlice {
+	return c.baseSlices
+}
+
+// Router returns the record-to-shard router.
+func (c *Collection) Router() *Router { return c.router }
+
+// Store exposes the wrapped delta store; the engine's staleness,
+// refresh-policy and snapshot surfaces read through it unchanged.
+func (c *Collection) Store() *delta.Store { return c.store }
+
+// Ingest routes one transaction batch: the wrapped store validates and
+// buffers it (all-or-nothing), then the clocks of every shard the batch
+// touches tick. Inserted rows take ids baseN, baseN+1, ... in arrival
+// order — the same ids the store assigns — and the router maps ids to
+// shards, so the partition key is the record id itself.
+func (c *Collection) Ingest(rows [][]int32, deletes []int) (delta.Staleness, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, err := c.store.Ingest(rows, deletes)
+	if err != nil {
+		return st, err
+	}
+	baseN := c.idx.Dataset.NumRecords()
+	touched := make(map[int]bool, len(rows)+len(deletes))
+	for i := range rows {
+		touched[c.router.Of(baseN+c.appended+i)] = true
+	}
+	for _, id := range deletes {
+		touched[c.router.Of(id)] = true
+	}
+	c.appended += len(rows)
+	for s := range touched {
+		c.versions[s]++
+	}
+	return st, nil
+}
+
+// View returns the merged execution view decorated with the shard
+// partition, or nil when the delta is empty. The store's view is built
+// (and cached) per delta version; the decoration — merged slices, and
+// in scatter mode the closure-merged catalog — is cached alongside it,
+// so concurrent queries share one immutable view per version.
+func (c *Collection) View() *plans.View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sv := c.store.View()
+	if sv == nil {
+		return nil
+	}
+	if c.viewSrc == sv {
+		return c.viewDec
+	}
+	v := *sv
+	v.Slices = c.partition(sv.Live, sv.Tidsets, sv.NumRecords)
+	if c.scatterCatalog() {
+		// Re-establish the merged catalog by cross-shard closure merge
+		// instead of the store's global re-mine: per-shard threshold-1
+		// mining (cached while a shard's clock is unchanged), then
+		// MergeClosed. The result is byte-identical to the global mine
+		// (see merge.go), so replacing Tree and Boxes changes nothing a
+		// plan can observe.
+		minCount := charm.CountFor(c.primary, sv.Live.Count())
+		if minCount < 1 {
+			minCount = 1
+		}
+		res := c.mergedCatalogLocked(v.Slices, sv.Tidsets, sv.NumRecords, minCount)
+		v.Tree = ittree.Build(res, c.idx.Space.NumItems())
+		v.Boxes = make([]itemset.Box, len(res.Closed))
+		for id, cl := range res.Closed {
+			v.Boxes[id] = mip.BoundingBox(c.idx.Space, c.idx.Cards, sv.Tidsets, cl)
+		}
+	}
+	c.viewSrc, c.viewDec = sv, &v
+	return c.viewDec
+}
+
+// scatterCatalog reports whether the closure-merge catalog path is
+// active: always under CatalogScatter, never under CatalogGlobal, and
+// under CatalogAuto only on small item spaces, where the per-shard
+// threshold-1 enumeration is safely bounded.
+func (c *Collection) scatterCatalog() bool {
+	switch c.catalog {
+	case CatalogScatter:
+		return true
+	case CatalogGlobal:
+		return false
+	}
+	sp := c.idx.Space
+	return sp.NumAttrs() <= 8 && sp.NumItems() <= 48
+}
+
+// mergedCatalogLocked computes the merged closed-itemset catalog via
+// the cross-shard closure merge. Per-shard minings are cached on the
+// shard clocks: only shards an ingest touched since the last call are
+// re-mined.
+func (c *Collection) mergedCatalogLocked(slices []plans.ShardSlice, tidsets []*bitset.Set, capN, minCount int) *charm.Result {
+	// Universe of globally frequent items; per-shard mining restricts
+	// to it (nil tidsets are skipped by the miner).
+	var u itemset.Set
+	for it, t := range tidsets {
+		if t != nil && t.Count() >= minCount {
+			u = append(u, itemset.Item(it))
+		}
+	}
+	ukey := u.Key()
+	inU := make([]bool, len(tidsets))
+	for _, it := range u {
+		inU[it] = true
+	}
+	per := make([]*charm.Result, len(slices))
+	for s, sl := range slices {
+		if m := c.mines[s]; m.res != nil && m.version == c.versions[s] && m.ukey == ukey {
+			per[s] = m.res
+			continue
+		}
+		tids := make([]*bitset.Set, len(sl.Items))
+		for i, t := range sl.Items {
+			if t != nil && inU[i] {
+				tids[i] = t
+			}
+		}
+		res, err := charm.MineTidsets(tids, capN, 1)
+		if err != nil {
+			// Unreachable: minCount 1 is the only error path.
+			panic(fmt.Sprintf("shard: per-shard mining failed: %v", err))
+		}
+		per[s] = res
+		c.mines[s] = shardMine{version: c.versions[s], ukey: ukey, res: res}
+	}
+	return MergeClosed(per, tidsets, capN, minCount)
+}
+
+// partition splits the live records across the shards and restricts the
+// per-item tidsets to each slice. Slices are immutable once returned.
+func (c *Collection) partition(live *bitset.Set, tidsets []*bitset.Set, capN int) []plans.ShardSlice {
+	k := c.router.Shards()
+	sl := make([]plans.ShardSlice, k)
+	for s := range sl {
+		sl[s].Records = bitset.New(capN)
+	}
+	live.ForEach(func(r int) bool {
+		sl[c.router.Of(r)].Records.Add(r)
+		return true
+	})
+	for s := range sl {
+		sl[s].Records.Optimize()
+		items := make([]*bitset.Set, len(tidsets))
+		for i, t := range tidsets {
+			if t == nil {
+				continue
+			}
+			x := bitset.Intersect(t, sl[s].Records)
+			x.Optimize()
+			items[i] = x
+		}
+		sl[s].Items = items
+	}
+	return sl
+}
+
+// ShardStats reports per-shard staleness: live record counts, buffered
+// inserts and tombstones routed to each shard, and the shard clocks.
+// The totals across shards equal the store's global Staleness counters.
+func (c *Collection) ShardStats() []ShardStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rows, deletes := c.store.Snapshot()
+	baseN := c.idx.Dataset.NumRecords()
+	stats := make([]ShardStat, c.router.Shards())
+	for s := range stats {
+		stats[s] = ShardStat{
+			Shard:   s,
+			Records: c.baseSlices[s].Records.Count(),
+			Version: c.versions[s],
+		}
+	}
+	for i := range rows {
+		s := c.router.Of(baseN + i)
+		stats[s].Records++
+		stats[s].BufferedRows++
+	}
+	for _, id := range deletes {
+		s := c.router.Of(id)
+		stats[s].Tombstones++
+		if id >= baseN {
+			stats[s].Records--
+			stats[s].BufferedRows--
+		} else if c.baseSlices[s].Records.Contains(id) {
+			stats[s].Records--
+		}
+	}
+	return stats
+}
+
+// Consolidate folds the buffered delta into a fresh ghost-preserving
+// index: every record — live, tombstoned, ghost — keeps its id (hash
+// routing must stay stable), deleted rows become ghosts outside the new
+// index's Live mask, and the catalog is re-mined over the live records
+// only (via the closure merge when the scatter catalog is active, so
+// clean shards reuse their cached minings). The returned index answers
+// byte-identically to a compacted monolithic rebuild over the same live
+// data — identical CFIs, supports, boxes and R-tree — differing only in
+// the record-id space. The caller swaps it in as a new engine
+// generation; this collection keeps serving unchanged until then.
+func (c *Collection) Consolidate() (*mip.Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rows, deletes := c.store.Snapshot()
+	d := c.idx.Dataset
+	attrs := d.NumAttrs()
+	baseN := d.NumRecords()
+	capN := baseN + len(rows)
+
+	names := make([]string, attrs)
+	for a := 0; a < attrs; a++ {
+		names[a] = d.Attrs[a].Name
+	}
+	b := relation.NewBuilder(d.Name, names...)
+	for a := 0; a < attrs; a++ {
+		for _, label := range d.Attrs[a].Values {
+			b.AddValue(a, label)
+		}
+	}
+	vi := make([]int, attrs)
+	for r := 0; r < baseN; r++ {
+		for a := 0; a < attrs; a++ {
+			vi[a] = d.Value(r, a)
+		}
+		if err := b.AddRecordIdx(vi...); err != nil {
+			return nil, err
+		}
+	}
+	for _, row := range rows {
+		for a := 0; a < attrs; a++ {
+			vi[a] = int(row[a])
+		}
+		if err := b.AddRecordIdx(vi...); err != nil {
+			return nil, err
+		}
+	}
+	nd := b.Build()
+
+	live := bitset.New(capN)
+	live.Fill()
+	if gl := c.idx.Live; gl != nil {
+		for r := 0; r < baseN; r++ {
+			if !gl.Contains(r) {
+				live.Remove(r)
+			}
+		}
+	}
+	for _, id := range deletes {
+		live.Remove(id)
+	}
+
+	sp := itemset.NewSpace(nd)
+	tids := itemset.ItemTidsets(nd, sp)
+	for _, t := range tids {
+		t.And(live)
+		t.Optimize()
+	}
+	minCount := charm.CountFor(c.primary, live.Count())
+	if minCount < 1 {
+		minCount = 1
+	}
+	var res *charm.Result
+	if c.scatterCatalog() {
+		res = c.mergedCatalogLocked(c.partition(live, tids, capN), tids, capN, minCount)
+	} else {
+		var err error
+		res, err = charm.MineTidsets(tids, capN, minCount)
+		if err != nil {
+			return nil, err
+		}
+	}
+	idx, err := mip.Assemble(nd, sp, tids, res, minCount, c.mipOpts)
+	if err != nil {
+		return nil, err
+	}
+	if live.Count() < capN {
+		idx.Live = live
+	}
+	return idx, nil
+}

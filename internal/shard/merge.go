@@ -1,0 +1,157 @@
+package shard
+
+import (
+	"sort"
+
+	"colarm/internal/bitset"
+	"colarm/internal/charm"
+	"colarm/internal/itemset"
+)
+
+// MergeClosed recombines per-shard closed-itemset catalogs into the
+// global catalog (DESIGN §13). Given the threshold-1 closed sets of
+// each shard — mined over the universe U of globally frequent items,
+// with non-U item tidsets nil — and the merged global per-item tidsets,
+// it returns exactly the charm.Result a from-scratch global mine over
+// the same tidsets at minCount would produce, in the same canonical
+// order.
+//
+// Correctness rests on two facts about closure operators:
+//
+//  1. The global closure is the intersection of the shard closures:
+//     T(X) = ⋃ₛ Tₛ(X) implies clos(X) = ⋂_{s: Tₛ(X)≠∅} closₛ(X),
+//     because an item i extends X's global closure iff every record of
+//     every shard-local tidset of X contains i. Hence every globally
+//     closed frequent X is an intersection of at most K shard-closed
+//     sets, all of which the threshold-1 per-shard mines enumerate
+//     (any weaker per-shard threshold loses candidates: a set globally
+//     frequent overall can sit below any fixed fraction in one shard).
+//  2. Restricting to U is sound: a globally frequent itemset contains
+//     only globally frequent items, and closures of frequent sets
+//     likewise, so no candidate outside 2^U survives the support
+//     filter. It also bounds the per-shard threshold-1 enumeration,
+//     which over the full item universe could be enormous.
+//
+// The converse of (1) — an intersection of shard-closed sets need not
+// be globally closed, and a shard-closed set need not be globally
+// frequent — is handled by re-deriving each candidate's global tidset
+// from the merged item tidsets and filtering on support and explicit
+// closedness. A corollary worth noting: an itemset closed in every
+// shard it touches IS globally closed (its global closure is an
+// intersection of copies of itself), so the merge never needs to
+// "break" a unanimously closed set; the interesting direction is sets
+// closed globally but in no single shard.
+func MergeClosed(perShard []*charm.Result, tidsets []*bitset.Set, numRecords, minCount int) *charm.Result {
+	if minCount < 1 {
+		minCount = 1
+	}
+	// Universe U of globally frequent items, from the merged tidsets.
+	var universe []itemset.Item
+	for it, t := range tidsets {
+		if t != nil && t.Count() >= minCount {
+			universe = append(universe, itemset.Item(it))
+		}
+	}
+
+	// Candidate pool W: union of the per-shard closed sets, closed
+	// under pairwise intersection (worklist: each set intersects every
+	// set processed before it, so every pair meets exactly once and
+	// k-way intersections emerge by iteration).
+	seen := make(map[string]itemset.Set)
+	var queue, done []itemset.Set
+	add := func(x itemset.Set) {
+		if len(x) == 0 {
+			return
+		}
+		k := x.Key()
+		if _, ok := seen[k]; ok {
+			return
+		}
+		seen[k] = x
+		queue = append(queue, x)
+	}
+	for _, res := range perShard {
+		if res == nil {
+			continue
+		}
+		for _, c := range res.Closed {
+			add(c.Items)
+		}
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range done {
+			add(intersect(x, y))
+		}
+		done = append(done, x)
+	}
+
+	// Filter: recompute each candidate's global tidset, keep the
+	// globally frequent ones that are explicitly closed (no item of U
+	// outside the set is contained in every supporting record).
+	var out []*charm.ClosedSet
+	for _, x := range done {
+		tids := tidsets[x[0]].Clone()
+		for _, it := range x[1:] {
+			tids.And(tidsets[it])
+		}
+		supp := tids.Count()
+		if supp < minCount {
+			continue
+		}
+		closed := true
+		for _, i := range universe {
+			if x.Contains(i) {
+				continue
+			}
+			if bitset.AndCount(tids, tidsets[i]) == supp {
+				closed = false
+				break
+			}
+		}
+		if !closed {
+			continue
+		}
+		tids.Optimize()
+		out = append(out, &charm.ClosedSet{Items: x, Tids: tids, Support: supp})
+	}
+
+	// Canonical order, matching charm.MineTidsets: by itemset length,
+	// then by item ids. Distinct itemsets never tie, so the order is
+	// deterministic regardless of map iteration above.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Items, out[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return &charm.Result{Closed: out, NumRecords: numRecords, MinCount: minCount}
+}
+
+// intersect computes the sorted-merge intersection of two itemsets
+// (itemset.Set carries no intersection helper; both inputs are sorted
+// ascending, as is the result).
+func intersect(a, b itemset.Set) itemset.Set {
+	var out itemset.Set
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"colarm/internal/bitset"
+	"colarm/internal/charm"
+	"colarm/internal/itemset"
+)
+
+// TestMergeClosedProperty is the property test for the cross-shard
+// closure merge: over random tidsets split into random shards, the
+// merge of the per-shard threshold-1 CHARM catalogs must reproduce the
+// from-scratch global CHARM catalog exactly — same itemsets, same
+// tidsets, same supports, same canonical order — and agree with the
+// independent brute-force enumerator. It also asserts the corollary
+// from the MergeClosed contract on every per-shard closed set: an
+// itemset closed in every shard it touches is globally closed.
+func TestMergeClosedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260809))
+	crossShardWitnesses, totalClosed := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		numRecords := 20 + rng.Intn(41)
+		numItems := 4 + rng.Intn(9)
+		tidsets := make([]*bitset.Set, numItems)
+		for i := range tidsets {
+			s := bitset.New(numRecords)
+			p := 0.2 + 0.6*rng.Float64()
+			for r := 0; r < numRecords; r++ {
+				if rng.Float64() < p {
+					s.Add(r)
+				}
+			}
+			tidsets[i] = s
+		}
+		k := 2 + rng.Intn(4)
+		assign := make([]int, numRecords)
+		for r := range assign {
+			assign[r] = rng.Intn(k)
+		}
+		minCount := 1 + rng.Intn(numRecords/4+1)
+
+		// Mimic the collection: per-shard mining sees only the globally
+		// frequent items (non-U tidsets nil) at threshold 1.
+		inU := make([]bool, numItems)
+		for i, ts := range tidsets {
+			inU[i] = ts.Count() >= minCount
+		}
+		shardRecs := make([]*bitset.Set, k)
+		for s := range shardRecs {
+			shardRecs[s] = bitset.New(numRecords)
+		}
+		for r, a := range assign {
+			shardRecs[a].Add(r)
+		}
+		perShard := make([]*charm.Result, k)
+		for s := 0; s < k; s++ {
+			st := make([]*bitset.Set, numItems)
+			for i, ts := range tidsets {
+				if inU[i] {
+					st[i] = bitset.Intersect(ts, shardRecs[s])
+				}
+			}
+			res, err := charm.MineTidsets(st, numRecords, 1)
+			if err != nil {
+				t.Fatalf("trial %d shard %d: mine: %v", trial, s, err)
+			}
+			perShard[s] = res
+		}
+
+		got := MergeClosed(perShard, tidsets, numRecords, minCount)
+		want, err := charm.MineTidsets(tidsets, numRecords, minCount)
+		if err != nil {
+			t.Fatalf("trial %d: global mine: %v", trial, err)
+		}
+		if len(got.Closed) != len(want.Closed) {
+			t.Fatalf("trial %d (K=%d, minCount=%d): merge found %d closed sets, global CHARM %d",
+				trial, k, minCount, len(got.Closed), len(want.Closed))
+		}
+		for i, w := range want.Closed {
+			g := got.Closed[i]
+			if g.Items.Key() != w.Items.Key() || g.Support != w.Support || !g.Tids.Equal(w.Tids) {
+				t.Fatalf("trial %d (K=%d, minCount=%d): closed set %d differs: merge %v/%d, global %v/%d",
+					trial, k, minCount, i, g.Items, g.Support, w.Items, w.Support)
+			}
+		}
+		// Independent oracle: brute-force closed enumeration.
+		bf := charm.BruteForceClosed(tidsets, numRecords, minCount)
+		if len(bf) != len(got.Closed) {
+			t.Fatalf("trial %d: merge found %d closed sets, brute force %d", trial, len(got.Closed), len(bf))
+		}
+		bfKeys := make(map[string]int, len(bf))
+		for _, c := range bf {
+			bfKeys[c.Items.Key()] = c.Support
+		}
+		for _, g := range got.Closed {
+			if supp, ok := bfKeys[g.Items.Key()]; !ok || supp != g.Support {
+				t.Fatalf("trial %d: merged set %v/%d not confirmed by brute force", trial, g.Items, g.Support)
+			}
+		}
+		totalClosed += len(got.Closed)
+
+		// Corollary: a set closed in every shard it touches is globally
+		// closed. Check it on every per-shard closed set directly
+		// against the definition (no item of U outside the set is in
+		// every supporting record).
+		shardClosed := make([]map[string]bool, k)
+		for s, res := range perShard {
+			m := make(map[string]bool, len(res.Closed))
+			for _, c := range res.Closed {
+				m[c.Items.Key()] = true
+			}
+			shardClosed[s] = m
+		}
+		globallyClosed := func(c *charm.ClosedSet) bool {
+			tids := tidsets[c.Items[0]].Clone()
+			for _, it := range c.Items[1:] {
+				tids.And(tidsets[it])
+			}
+			supp := tids.Count()
+			for i := range tidsets {
+				if !inU[i] || c.Items.Contains(itemset.Item(i)) {
+					continue
+				}
+				if bitset.AndCount(tids, tidsets[i]) == supp {
+					return false
+				}
+			}
+			return true
+		}
+		for s, res := range perShard {
+			for _, c := range res.Closed {
+				unanimous := true
+				for s2 := 0; s2 < k && unanimous; s2++ {
+					if s2 == s {
+						continue
+					}
+					// Touching means the set's own tidset reaches the
+					// shard, i.e. the intersection over its items there
+					// is nonempty.
+					st := bitset.Intersect(tidsets[c.Items[0]], shardRecs[s2])
+					for _, it := range c.Items[1:] {
+						st.And(tidsets[it])
+					}
+					if !st.IsEmpty() && !shardClosed[s2][c.Items.Key()] {
+						unanimous = false
+					}
+				}
+				if unanimous && !globallyClosed(c) {
+					t.Fatalf("trial %d: %v is closed in every shard it touches but not globally closed", trial, c.Items)
+				}
+			}
+		}
+
+		// Count the interesting direction: globally closed sets that are
+		// shard-closed nowhere, so only the pairwise-intersection worklist
+		// can produce them.
+		for _, w := range want.Closed {
+			anywhere := false
+			for s := 0; s < k; s++ {
+				if shardClosed[s][w.Items.Key()] {
+					anywhere = true
+					break
+				}
+			}
+			if !anywhere {
+				crossShardWitnesses++
+			}
+		}
+	}
+	if totalClosed == 0 {
+		t.Fatal("no trial produced any closed itemsets; the property test is vacuous")
+	}
+	if crossShardWitnesses == 0 {
+		t.Error("no globally-closed-but-nowhere-shard-closed witness occurred; the intersection worklist went unexercised")
+	}
+}
+
+// TestMergeClosedCrossShardWitness pins the deterministic example from
+// DESIGN §13: shard 0 holds two AB records, shard 1 two AC records.
+// {A} is globally closed (support 4) but closed in neither shard —
+// clos₀(A)=AB, clos₁(A)=AC — so only their intersection recovers it.
+func TestMergeClosedCrossShardWitness(t *testing.T) {
+	const numRecords = 4
+	tidsets := []*bitset.Set{
+		bitset.FromIDs(numRecords, 0, 1, 2, 3), // A
+		bitset.FromIDs(numRecords, 0, 1),       // B
+		bitset.FromIDs(numRecords, 2, 3),       // C
+	}
+	shards := []*bitset.Set{
+		bitset.FromIDs(numRecords, 0, 1),
+		bitset.FromIDs(numRecords, 2, 3),
+	}
+	perShard := make([]*charm.Result, len(shards))
+	for s, recs := range shards {
+		st := make([]*bitset.Set, len(tidsets))
+		for i, ts := range tidsets {
+			st[i] = bitset.Intersect(ts, recs)
+		}
+		res, err := charm.MineTidsets(st, numRecords, 1)
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		perShard[s] = res
+		for _, c := range res.Closed {
+			if c.Items.Key() == "0" {
+				t.Fatalf("shard %d claims {A} closed locally; the witness is broken", s)
+			}
+		}
+	}
+	got := MergeClosed(perShard, tidsets, numRecords, 1)
+	foundA := false
+	for _, c := range got.Closed {
+		if c.Items.Key() == "0" {
+			foundA = true
+			if c.Support != 4 {
+				t.Fatalf("{A} merged with support %d, want 4", c.Support)
+			}
+		}
+	}
+	if !foundA {
+		t.Fatal("closure merge lost the globally closed set {A}")
+	}
+	want, err := charm.MineTidsets(tidsets, numRecords, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Closed) != len(want.Closed) {
+		t.Fatalf("merge found %d closed sets, global CHARM %d", len(got.Closed), len(want.Closed))
+	}
+}

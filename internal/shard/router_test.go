@@ -1,0 +1,67 @@
+package shard
+
+import "testing"
+
+// TestRouterCoverageAndBalance checks the seeded properties fuzzing
+// cannot: over a dense id range every shard receives records (full
+// id-space coverage) and the splitmix64 mix keeps the load near
+// uniform for sequential ids.
+func TestRouterCoverageAndBalance(t *testing.T) {
+	const n = 10000
+	for _, k := range []int{2, 3, 7, 16} {
+		r := NewRouter(k)
+		counts := make([]int, k)
+		for id := 0; id < n; id++ {
+			s := r.Of(id)
+			if s < 0 || s >= k {
+				t.Fatalf("K=%d: Of(%d) = %d out of range", k, id, s)
+			}
+			counts[s]++
+		}
+		mean := float64(n) / float64(k)
+		for s, c := range counts {
+			if c == 0 {
+				t.Fatalf("K=%d: shard %d received no ids", k, s)
+			}
+			if f := float64(c); f < 0.5*mean || f > 1.5*mean {
+				t.Fatalf("K=%d: shard %d holds %d of %d ids (mean %.0f); routing is skewed", k, s, c, n, mean)
+			}
+		}
+	}
+	if r := NewRouter(0); r.Shards() != 1 || r.Of(12345) != 0 {
+		t.Fatal("K<1 must clamp to a single shard owning everything")
+	}
+}
+
+// FuzzShardRouter fuzzes the routing invariants: the shard is always
+// in range, K=1 owns everything, and the assignment is a pure function
+// of (id, K) — stable across calls and router instances, which is what
+// keeps a record on its shard for the lifetime of an engine.
+func FuzzShardRouter(f *testing.F) {
+	f.Add(0, 1)
+	f.Add(1, 2)
+	f.Add(41, 3)
+	f.Add(1<<31, 7)
+	f.Add(-17, 4)
+	f.Add(1<<62, 1000)
+	f.Fuzz(func(t *testing.T, id, k int) {
+		r := NewRouter(k)
+		want := k
+		if want < 1 {
+			want = 1
+		}
+		if r.Shards() != want {
+			t.Fatalf("NewRouter(%d).Shards() = %d, want %d", k, r.Shards(), want)
+		}
+		s := r.Of(id)
+		if s < 0 || s >= want {
+			t.Fatalf("Of(%d) = %d with K=%d: out of range", id, s, want)
+		}
+		if want == 1 && s != 0 {
+			t.Fatalf("K=1 must route every id to shard 0, got %d", s)
+		}
+		if r.Of(id) != s || NewRouter(k).Of(id) != s {
+			t.Fatalf("Of(%d) unstable with K=%d: partition keys must never move", id, want)
+		}
+	})
+}

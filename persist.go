@@ -80,15 +80,21 @@ func engineFromIndex(idx *mip.Index, meta mip.SnapshotMeta, opts Options) (*Engi
 		Workers:        opts.Workers,
 		AccuracyTol:    opts.AccuracyTolerance,
 		Metrics:        opts.Metrics.registry(),
+		Shards:         opts.Shards,
 	})
 	if len(meta.DeltaRows) > 0 || len(meta.DeltaDels) > 0 {
 		dels := make([]int, len(meta.DeltaDels))
 		for i, id := range meta.DeltaDels {
 			dels[i] = int(id)
 		}
-		// Replay straight into the store: restoring persisted state is
-		// not a fresh ingest, so the ingest metrics stay untouched.
-		if _, err := eng.Delta.Ingest(meta.DeltaRows, dels); err != nil {
+		// Replay straight into the store (through the collection on a
+		// sharded engine, so the shard clocks tick): restoring persisted
+		// state is not a fresh ingest, so ingest metrics stay untouched.
+		if eng.Coll != nil {
+			if _, err := eng.Coll.Ingest(meta.DeltaRows, dels); err != nil {
+				return nil, err
+			}
+		} else if _, err := eng.Delta.Ingest(meta.DeltaRows, dels); err != nil {
 			return nil, err
 		}
 	}
