@@ -1,0 +1,98 @@
+package colarm
+
+import (
+	"reflect"
+	"testing"
+
+	"colarm/internal/relation"
+)
+
+// TestAutoFallsBackWhenInapplicable pins the optimizer's applicability
+// gate. The dataset plants a pattern (a1=in, a2=in) that is frequent
+// only inside the focal subset a0=grp: 4 of the subset's 5 records
+// carry it, but 4 of 20 records globally sits below the 30% primary
+// support, so no CFI records the pattern and every MIP-backed plan
+// misses its rules. Auto must therefore execute ARM — the cost argmin
+// is irrelevant when it names an incomplete plan — and return exactly
+// ARM's answer.
+func TestAutoFallsBackWhenInapplicable(t *testing.T) {
+	b := relation.NewBuilder("localized", "a0", "a1", "a2")
+	add := func(vals ...string) {
+		t.Helper()
+		if err := b.AddRecord(vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		add("grp", "in", "in")
+	}
+	add("grp", "out", "out")
+	// The background rows keep (in, in) globally infrequent while giving
+	// the primary miner plenty of frequent structure elsewhere.
+	for i := 0; i < 15; i++ {
+		add("rest", "out", "out")
+	}
+	ds := &Dataset{rel: b.Build()}
+	eng, err := Open(ds, Options{PrimarySupport: 0.30})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := Query{
+		Range:         map[string][]string{"a0": {"grp"}},
+		MinSupport:    0.5,
+		MinConfidence: 0.5,
+	}
+	arm := q
+	arm.Plan = ARM
+	want, err := eng.Mine(arm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rules) == 0 {
+		t.Fatal("ARM found no rules; the localized pattern is missing and the scenario is vacuous")
+	}
+
+	got, err := eng.Mine(q) // Plan defaults to Auto
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Plan != ARM {
+		t.Errorf("auto chose %s for an inapplicable query, want ARM", got.Stats.Plan)
+	}
+	if !reflect.DeepEqual(got.Rules, want.Rules) {
+		t.Errorf("auto rules diverge from ARM\nauto: %v\narm:  %v", got.Rules, want.Rules)
+	}
+
+	// Sanity: the MIP plans really are blind to the localized pattern
+	// here — that blindness is what the gate exists to route around.
+	sev := q
+	sev.Plan = SEV
+	mip, err := eng.Mine(sev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mip.Rules) != 0 {
+		t.Errorf("S-E-V found %d rules for a pattern below primary support; the scenario no longer exercises the gate", len(mip.Rules))
+	}
+
+	// Widening the focal subset to the full dataset lifts the localized
+	// threshold above the primary count, handing the choice back to the
+	// cost model; whatever it picks, the answer must match ARM's (all
+	// plans are complete in this regime).
+	hi := q
+	hi.Range = nil
+	hiArm := hi
+	hiArm.Plan = ARM
+	wantHi, err := eng.Mine(hiArm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHi, err := eng.Mine(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotHi.Rules, wantHi.Rules) {
+		t.Errorf("applicable-regime auto rules diverge from ARM\nauto: %v\narm:  %v", gotHi.Rules, wantHi.Rules)
+	}
+}

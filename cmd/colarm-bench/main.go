@@ -115,9 +115,19 @@ func main() {
 		tidsetIter = flag.Int("tidset-iters", 5, "timing iterations per kernel for -tidset (minimum is reported)")
 		shards     = flag.Bool("shards", false, "run the scatter-gather benchmark (shard count vs latency vs rebuild pause)")
 		shardKs    = flag.String("shard-counts", "1,2,4,8", "comma-separated shard counts for -shards")
-		benchOut   = flag.String("bench-out", "", "write the -tidset or -shards report as JSON to this file (e.g. BENCH_7.json)")
+		index      = flag.Bool("index", false, "run the MIP-index physical-layer benchmark (flat vs pointer layout)")
+		indexProbe = flag.Int("index-probes", 4096, "probe operations per kernel for -index")
+		indexIters = flag.Int("index-iters", 5, "timing rounds per kernel for -index (minimum is reported)")
+		benchOut   = flag.String("bench-out", "", "write the -tidset, -shards or -index report as JSON to this file (e.g. BENCH_8.json)")
 	)
 	flag.Parse()
+	if *index {
+		if err := runIndex(*shardKs, *full, *indexProbe, *indexIters, *batches, *batchRows, *seed, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "colarm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *tidset {
 		if err := runTidset(*tidsetRecs, *tidsetItem, *tidsetIter, *seed, *benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "colarm-bench:", err)
@@ -163,9 +173,43 @@ func runTidset(records, items, iters int, seed int64, out string) error {
 	return nil
 }
 
-// runShards runs the scatter-gather benchmark over the given shard
-// counts and optionally persists the JSON report (BENCH_<pr>.json).
-func runShards(counts string, full bool, clients, perClient, batches, batchRows int, seed int64, out string) error {
+// runIndex runs the MIP-index physical-layer benchmark (flat vs
+// pointer closure/lookup/R-tree kernels plus the sharded consolidation
+// cycle) and optionally persists the JSON report (BENCH_<pr>.json).
+func runIndex(counts string, full bool, probes, iters, batches, batchRows int, seed int64, out string) error {
+	ks, err := parseCounts(counts)
+	if err != nil {
+		return err
+	}
+	spec, err := bench.SpecByName(bench.Specs(full, seed), "mushroom")
+	if err != nil {
+		return err
+	}
+	rep, err := bench.RunIndex(spec, ks, probes, iters, batches, batchRows, seed)
+	if err != nil {
+		return err
+	}
+	bench.PrintIndex(os.Stdout, rep)
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", out)
+	return nil
+}
+
+// parseCounts parses a comma-separated shard-count list.
+func parseCounts(counts string) ([]int, error) {
 	var ks []int
 	for _, part := range strings.Split(counts, ",") {
 		part = strings.TrimSpace(part)
@@ -174,12 +218,22 @@ func runShards(counts string, full bool, clients, perClient, batches, batchRows 
 		}
 		k, err := strconv.Atoi(part)
 		if err != nil || k < 1 {
-			return fmt.Errorf("bad -shard-counts entry %q", part)
+			return nil, fmt.Errorf("bad -shard-counts entry %q", part)
 		}
 		ks = append(ks, k)
 	}
 	if len(ks) == 0 {
-		return fmt.Errorf("-shard-counts selected no shard counts")
+		return nil, fmt.Errorf("-shard-counts selected no shard counts")
+	}
+	return ks, nil
+}
+
+// runShards runs the scatter-gather benchmark over the given shard
+// counts and optionally persists the JSON report (BENCH_<pr>.json).
+func runShards(counts string, full bool, clients, perClient, batches, batchRows int, seed int64, out string) error {
+	ks, err := parseCounts(counts)
+	if err != nil {
+		return err
 	}
 	spec, err := bench.SpecByName(bench.Specs(full, seed), "mushroom")
 	if err != nil {

@@ -367,7 +367,7 @@ func min(a, b int) int {
 // random item spaces keep the scatter catalog (per-shard mining + cross-
 // shard closure merge) active, so the merge path is what answers the
 // delta-view and consolidation phases. K=1 additionally pins the Auto
-// plan and byte-identical snapshots under the v3 magic; every K checks
+// plan and byte-identical snapshots under the v5 magic; every K checks
 // the sharded snapshot round-trips through save/load.
 func TestShardDifferential(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260808))
@@ -507,7 +507,7 @@ func runShardDifferential(t *testing.T, rng *rand.Rand, k int) int {
 	compare("delta")
 
 	// K=1 must also persist byte-for-byte like the monolith, under the
-	// v3 snapshot magic (no sharded engine exists at K=1, so nothing
+	// v5 snapshot magic (no sharded engine exists at K=1, so nothing
 	// may leak into the stream).
 	if k == 1 {
 		var bufM, bufS bytes.Buffer
@@ -520,8 +520,8 @@ func runShardDifferential(t *testing.T, rng *rand.Rand, k int) int {
 		if !bytes.Equal(bufM.Bytes(), bufS.Bytes()) {
 			t.Fatalf("K=1: snapshot bytes differ from monolith (%d vs %d bytes)", bufM.Len(), bufS.Len())
 		}
-		if !bytes.Contains(bufS.Bytes()[:64], []byte("COLARM-MIP-v3")) {
-			t.Fatalf("K=1: snapshot does not carry the v3 magic")
+		if !bytes.Contains(bufS.Bytes()[:64], []byte("COLARM-MIP-v5")) {
+			t.Fatalf("K=1: snapshot does not carry the v5 magic")
 		}
 	}
 

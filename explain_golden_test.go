@@ -94,12 +94,12 @@ func TestExplainGoldenSalary(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkEstimates(t, "salary", ests, []goldenEstimate{
-		{SEV, 2337.710057, 13, 0.830848},
-		{SVS, 2012.710057, 13, 0.830848},
-		{SSEV, 1822.910057, 10, 0.830848},
-		{SSVS, 1572.910057, 10, 0.830848},
-		{SSEUV, 1821.710057, 10, 0.830848},
-		{ARM, 443.463068, 0, 1.250000},
+		{SEV, 1160.380231, 13, 0.830848},
+		{SVS, 1056.380231, 13, 0.830848},
+		{SSEV, 894.580231, 10, 0.830848},
+		{SSVS, 814.580231, 10, 0.830848},
+		{SSEUV, 893.380231, 10, 0.830848},
+		{ARM, 247.383523, 0, 1.250000},
 	})
 
 	// The optimizer must execute the argmin of exactly these estimates.
@@ -139,11 +139,11 @@ func TestExplainGoldenChessQuarter(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkEstimates(t, "chess", ests, []goldenEstimate{
-		{SEV, 1837777.899535, 8507, 263.782946},
-		{SVS, 1625102.899535, 8507, 263.782946},
-		{SSEV, 382944.141395, 395.674419, 263.782946},
-		{SSVS, 373052.280930, 395.674419, 263.782946},
-		{SSEUV, 381401.011163, 395.674419, 263.782946},
-		{ARM, 89466.430093, 0, 2.071963},
+		{SEV, 991693.451473, 8507, 263.782946},
+		{SVS, 923637.451473, 8507, 263.782946},
+		{SSEV, 211609.297984, 395.674419, 263.782946},
+		{SSVS, 208443.902636, 395.674419, 263.782946},
+		{SSEUV, 210066.167752, 395.674419, 263.782946},
+		{ARM, 88878.989551, 0, 2.071963},
 	})
 }

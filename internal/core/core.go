@@ -28,6 +28,12 @@ type Options struct {
 	Fanout int
 	// Packing selects the R-tree bulk-loading scheme.
 	Packing rtree.Packing
+	// Layout selects the physical layout of the index layers
+	// (mip.FlatLayout by default: contiguous struct-of-arrays slabs;
+	// mip.PointerLayout keeps one heap object per node). Rules and
+	// statistics are identical for both; only memory layout and speed
+	// change.
+	Layout mip.Layout
 	// CalibrateUnits micro-benchmarks the cost model's unit costs on
 	// this machine instead of using defaults.
 	CalibrateUnits bool
@@ -124,6 +130,8 @@ func NewEngine(d *relation.Dataset, opts Options) (*Engine, error) {
 		PrimarySupport: opts.PrimarySupport,
 		Fanout:         opts.Fanout,
 		Packing:        opts.Packing,
+		Layout:         opts.Layout,
+		Workers:        opts.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -198,10 +206,13 @@ func (e *Engine) InitObservability(dataset string, reg *obs.Registry, accuracyTo
 				Catalog: e.opts.ShardCatalog,
 				Primary: primary,
 				Units:   e.Model.U,
+				Workers: e.opts.Workers,
 				MIP: mip.Options{
 					PrimarySupport: primary,
 					Fanout:         e.opts.Fanout,
 					Packing:        e.opts.Packing,
+					Layout:         e.opts.Layout,
+					Workers:        e.opts.Workers,
 				},
 			})
 			// The collection wraps a plain delta store: ingest routes
@@ -212,6 +223,7 @@ func (e *Engine) InitObservability(dataset string, reg *obs.Registry, accuracyTo
 			e.Executor.ViewSource = e.Coll.View
 		} else {
 			e.Delta = delta.NewStore(e.Index, primary, e.Model.U)
+			e.Delta.SetWorkers(e.opts.Workers)
 			e.Executor.ViewSource = e.Delta.View
 		}
 	}
@@ -247,6 +259,25 @@ func (e *Engine) InitObservability(dataset string, reg *obs.Registry, accuracyTo
 		"Full index rebuilds absorbing the delta store.")
 	e.rebuildSeconds = reg.Histogram("colarm_rebuild_seconds", labels,
 		"Duration of full index rebuilds.", nil)
+	if e.Coll != nil {
+		// Per-shard physical-index observability: one build-duration
+		// histogram for the engine plus a rebuild counter per shard, fed
+		// by the collection's rebuild hook. Clean shards reuse their
+		// cached index, so the counters expose exactly which partitions
+		// drift.
+		buildHist := reg.Histogram("colarm_shard_index_build_seconds", labels,
+			"Duration of per-shard physical index builds (mining + IT-tree + boxes + R-tree).", nil)
+		rebuildCtrs := make([]*obs.Counter, e.Coll.NumShards())
+		for s := range rebuildCtrs {
+			rebuildCtrs[s] = reg.CounterWith("colarm_shard_index_rebuilds_total",
+				labels+fmt.Sprintf(",shard=%q", fmt.Sprint(s)),
+				"Per-shard physical index rebuilds (drifted shards only; clean shards serve their cache).")
+		}
+		e.Coll.SetRebuildHook(func(shard int, buildNanos int64) {
+			rebuildCtrs[shard].Inc()
+			buildHist.Observe(time.Duration(buildNanos))
+		})
+	}
 }
 
 // observe records one executed query in the cumulative metrics.
@@ -378,7 +409,7 @@ func (e *Engine) MineContext(ctx context.Context, q *plans.Query) (*plans.Result
 		e.queryErrors.Inc()
 		return nil, nil, err
 	}
-	kind, ests := e.Model.Choose(q)
+	kind, ests := e.choosePlan(q)
 	e.chosen[kind].Inc()
 	res, err := e.Executor.RunContext(ctx, kind, q)
 	e.observe(res, err)
@@ -432,7 +463,7 @@ func (e *Engine) EvaluatePlans(q *plans.Query) (*ChoiceEvaluation, error) {
 	}
 	qc := *q
 	qc.Trace = nil
-	kind, ests := e.Model.Choose(&qc)
+	kind, ests := e.choosePlan(&qc)
 	ev := &ChoiceEvaluation{Chosen: kind}
 	var chosenT, bestT time.Duration
 	for _, est := range ests {
@@ -476,8 +507,23 @@ func (e *Engine) ExplainContext(ctx context.Context, q *plans.Query) (plans.Kind
 	if err := q.Validate(e.Index); err != nil {
 		return 0, nil, err
 	}
-	kind, ests := e.Model.Choose(q)
+	kind, ests := e.choosePlan(q)
 	return kind, ests, nil
+}
+
+// choosePlan runs the cost-based optimizer and applies the paper's
+// applicability condition: the argmin is honored only when the
+// prestored CFIs can answer the query completely. When the localized
+// threshold over the executor's current surface falls below the
+// primary-support count, every MIP-backed plan would silently drop
+// rules that are frequent only inside the focal subset, so the choice
+// is overridden to ARM — completeness outranks the cost estimate.
+func (e *Engine) choosePlan(q *plans.Query) (plans.Kind, []cost.Estimate) {
+	kind, ests := e.Model.Choose(q)
+	if kind != plans.ARM && !e.Executor.Applicable(q) {
+		kind = plans.ARM
+	}
+	return kind, ests
 }
 
 // QuerySpec is a plan-agnostic description of a mining request using

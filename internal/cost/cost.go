@@ -46,9 +46,12 @@ type Units struct {
 }
 
 // DefaultUnits are conservative defaults used when calibration is
-// skipped; they reflect typical modern hardware ratios.
+// skipped; they reflect typical modern hardware ratios for the flat
+// slab layout's primitives: packed-arena box classification and
+// open-addressed integer hashing, which are markedly cheaper than the
+// pointer layout's Box views and string-keyed maps they replaced.
 func DefaultUnits() Units {
-	return Units{WordOp: 0.6, BoxRel: 3.0, IDProbe: 1.5, MapOp: 25, GenOp: 40}
+	return Units{WordOp: 0.6, BoxRel: 2.0, IDProbe: 1.5, MapOp: 8, GenOp: 16}
 }
 
 // MeasureUnits micro-benchmarks the primitive operations on this
@@ -105,35 +108,50 @@ func MeasureUnits(m, dims int) Units {
 	}
 	u.IDProbe = float64(time.Since(start).Nanoseconds()) / float64(preps*len(ids))
 
-	// Box relation tests.
+	// Box relation tests, against the packed-arena form the flat
+	// R-tree search actually classifies (Lo run then Hi run per box).
 	cards := make([]int, dims)
 	for d := range cards {
 		cards[d] = 8
 	}
 	reg := itemset.NewRegion(cards)
 	_ = reg.Restrict(0, []int{1, 2, 3})
-	box := itemset.NewBox(dims)
+	arena := make([]int32, 2*dims)
 	for d := 0; d < dims; d++ {
-		box.Lo[d], box.Hi[d] = 1, 4
+		arena[d], arena[dims+d] = 1, 4
 	}
 	const breps = 20000
 	start = time.Now()
 	rel := itemset.Disjoint
 	for i := 0; i < breps; i++ {
-		rel = reg.Relation(box)
+		rel = reg.RelationPacked(arena, 0, dims)
 	}
 	u.BoxRel = float64(time.Since(start).Nanoseconds()) / (breps * float64(dims))
 	_ = rel
 
-	// Map probes.
-	mm := make(map[int]int, 1024)
-	for i := 0; i < 1024; i++ {
-		mm[i] = i
+	// Hash probes, against an open-addressed integer table mirroring
+	// the flat IT-tree's exact-lookup hash (the layout replaced the
+	// string-keyed map the pointer index used for closure caches and
+	// dedup, so the unit tracks the cheaper primitive).
+	const tbits = 11
+	table := make([]uint64, 1<<tbits)
+	for i := uint64(1); i <= 1024; i++ {
+		h := i * 0x9e3779b97f4a7c15
+		s := h >> (64 - tbits)
+		for table[s] != 0 {
+			s = (s + 1) & (1<<tbits - 1)
+		}
+		table[s] = i
 	}
 	const mreps = 100000
 	start = time.Now()
 	for i := 0; i < mreps; i++ {
-		sink += mm[i&1023]
+		k := uint64(i&1023) + 1
+		s := (k * 0x9e3779b97f4a7c15) >> (64 - tbits)
+		for table[s] != 0 && table[s] != k {
+			s = (s + 1) & (1<<tbits - 1)
+		}
+		sink += int(table[s])
 	}
 	u.MapOp = float64(time.Since(start).Nanoseconds()) / mreps
 
@@ -226,7 +244,7 @@ func NewModel(idx *mip.Index, units Units) *Model {
 		counts := make([]int, n)
 		sumLen := 0
 		for id := 0; id < total; id++ {
-			items := idx.ITTree.Set(id).Items
+			items := idx.ITTree.Items(id)
 			sumLen += len(items)
 			seen := make(map[int]bool, len(items))
 			for _, it := range items {
@@ -328,8 +346,7 @@ func (mo *Model) probe(q *plans.Query, dq *bitset.Set, s *queryShape) {
 		if rel == itemset.Disjoint {
 			continue
 		}
-		c := idx.ITTree.Set(id)
-		passSS := c.Support >= s.minCount
+		passSS := idx.ITTree.Support(id) >= s.minCount
 		overlap++
 		if passSS {
 			overlapSS++
@@ -340,7 +357,7 @@ func (mo *Model) probe(q *plans.Query, dq *bitset.Set, s *queryShape) {
 				containedSS++
 			}
 		}
-		if bitset.AndCount(c.Tids, dq) >= s.minCount {
+		if bitset.AndCount(idx.ITTree.Tids(id), dq) >= s.minCount {
 			qual++
 		}
 	}

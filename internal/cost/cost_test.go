@@ -49,9 +49,22 @@ func buildModel(t testing.TB, m int) (*Model, *plans.Executor) {
 }
 
 func TestMeasureUnitsSane(t *testing.T) {
+	// The micro-benchmark windows are tens of microseconds; one
+	// scheduler stall while the rest of the suite shares the CPU can
+	// inflate a unit a thousand-fold, so judge plausibility on the
+	// best of a few attempts.
 	u := MeasureUnits(1000, 4)
 	if u.WordOp <= 0 || u.BoxRel <= 0 || u.MapOp <= 0 || u.GenOp <= 0 {
 		t.Fatalf("units must be positive: %+v", u)
+	}
+	for try := 0; try < 4 && (u.WordOp > 1000 || u.MapOp > 10000); try++ {
+		v := MeasureUnits(1000, 4)
+		if v.WordOp < u.WordOp {
+			u.WordOp = v.WordOp
+		}
+		if v.MapOp < u.MapOp {
+			u.MapOp = v.MapOp
+		}
 	}
 	if u.WordOp > 1000 || u.MapOp > 10000 {
 		t.Errorf("units implausibly large: %+v", u)

@@ -61,6 +61,7 @@ import (
 	"colarm/internal/ittree"
 	"colarm/internal/mip"
 	"colarm/internal/plans"
+	"colarm/internal/pool"
 	"colarm/internal/qerr"
 	"colarm/internal/relation"
 )
@@ -93,6 +94,7 @@ type Store struct {
 	idx     *mip.Index
 	primary float64
 	units   cost.Units
+	workers int
 
 	rows  [][]int32   // buffered inserts (value indices, one per attr)
 	dead  []bool      // dead[k]: buffered row k was later deleted
@@ -119,6 +121,16 @@ func NewStore(idx *mip.Index, primary float64, units cost.Units) *Store {
 		units:   units,
 		tombs:   bitset.New(idx.Dataset.NumRecords()),
 	}
+}
+
+// SetWorkers bounds the fan-out of the merged view's parallel box
+// computation: 0 means one worker per CPU, 1 forces serial. Boxes are
+// independent reads into pre-indexed slots, so the view is
+// worker-count-invariant.
+func (s *Store) SetWorkers(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.workers = n
 }
 
 // SetRebuildCost records the measured duration of the last full index
@@ -288,20 +300,22 @@ func (s *Store) buildViewLocked() *plans.View {
 		// path is minCount < 1, guarded).
 		panic(fmt.Sprintf("delta: merged mining failed: %v", err))
 	}
-	tree := ittree.Build(res, sp.NumItems())
+	tree := ittree.BuildLayout(res, sp.NumItems(), s.idx.Layout.ITTreeLayout())
 	boxes := make([]itemset.Box, len(res.Closed))
-	for id, c := range res.Closed {
-		boxes[id] = mip.BoundingBox(sp, s.idx.Cards, tids, c)
-	}
+	closed := res.Closed
+	pool.For(len(closed), pool.Workers(s.workers), func(id int) {
+		boxes[id] = mip.BoundingBox(sp, s.idx.Cards, tids, closed[id])
+	})
 
 	rows := s.rows // append-only; elements are never mutated
 	return &plans.View{
-		Tree:       tree,
-		Boxes:      boxes,
-		Tidsets:    tids,
-		NumRecords: capN,
-		Live:       live,
-		Skip:       func(r int) bool { return !live.Contains(r) },
+		Tree:         tree,
+		Boxes:        boxes,
+		Tidsets:      tids,
+		PrimaryCount: minCount,
+		NumRecords:   capN,
+		Live:         live,
+		Skip:         func(r int) bool { return !live.Contains(r) },
 		Value: func(r, a int) int {
 			if r < baseN {
 				return d.Value(r, a)

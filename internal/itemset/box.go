@@ -275,6 +275,28 @@ func (r *Region) Relation(b Box) Rel {
 	return Partial
 }
 
+// RelationPacked is Relation over a box packed at arena[off:off+2*dims]
+// (Lo run, then Hi run) — the flat R-tree's inline box layout. It skips
+// the construction of a Box view on the hot search path.
+func (r *Region) RelationPacked(arena []int32, off, dims int) Rel {
+	b := arena[off : off+2*dims : off+2*dims]
+	contained := true
+	for d := range r.cards {
+		lo, hi := b[d], b[dims+d]
+		n := r.selectedIn(d, lo, hi)
+		if n == 0 {
+			return Disjoint
+		}
+		if n != hi-lo+1 {
+			contained = false
+		}
+	}
+	if contained {
+		return Contained
+	}
+	return Partial
+}
+
 // Intersects reports whether box b overlaps the region in every
 // dimension.
 func (r *Region) Intersects(b Box) bool { return r.Relation(b) != Disjoint }

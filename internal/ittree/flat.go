@@ -1,0 +1,212 @@
+// Flat struct-of-arrays layout for the IT-tree.
+//
+// Instead of one heap object per CFI plus a string-keyed map, the flat
+// layout packs everything the online operations touch into five dense
+// slabs:
+//
+//	itemArena/itemOff   all CFI itemsets concatenated, offset-indexed
+//	supports            global support per CFI id
+//	tids                tidset pointer per CFI id
+//	invArena/invOff     per-item inverted lists of CFI ids
+//	htab                open-addressed exact-lookup table
+//
+// The inverted-list runs are ordered by (support descending, id
+// ascending). The closure of X is the unique maximum-support CFI
+// containing X (two distinct containing CFIs at the shared maximum would
+// have equal tidsets — impossible for distinct closed sets), so the
+// closure scan can return the FIRST containing CFI it meets in that
+// order; the id-ascending tie-break reproduces the pointer layout's
+// "first max-support wins" result exactly. Exact lookup hashes the item
+// slice directly (FNV-1a over the item words) and verifies candidates
+// against the arena, so no per-probe string key is ever allocated.
+package ittree
+
+import (
+	"sort"
+
+	"colarm/internal/bitset"
+	"colarm/internal/charm"
+	"colarm/internal/itemset"
+)
+
+// buildFlat populates the slab fields from the mined CFIs.
+func (t *Tree) buildFlat(closed []*charm.ClosedSet) {
+	n := len(closed)
+	totalItems := 0
+	for _, c := range closed {
+		totalItems += len(c.Items)
+	}
+	t.itemArena = make([]itemset.Item, 0, totalItems)
+	t.itemOff = make([]int32, n+1)
+	t.supports = make([]int32, n)
+	t.tids = make([]*bitset.Set, n)
+	for id, c := range closed {
+		t.itemOff[id] = int32(len(t.itemArena))
+		t.itemArena = append(t.itemArena, c.Items...)
+		t.supports[id] = int32(c.Support)
+		t.tids[id] = c.Tids
+	}
+	t.itemOff[n] = int32(len(t.itemArena))
+
+	// Inverted lists: bucket ids per item (ascending id by construction),
+	// then order each run by (support desc, id asc) for the early-exit
+	// closure scan.
+	counts := make([]int32, t.numItems)
+	for _, it := range t.itemArena {
+		counts[it]++
+	}
+	t.invOff = make([]int32, t.numItems+1)
+	for it := 0; it < t.numItems; it++ {
+		t.invOff[it+1] = t.invOff[it] + counts[it]
+	}
+	t.invArena = make([]int32, totalItems)
+	cursor := make([]int32, t.numItems)
+	copy(cursor, t.invOff[:t.numItems])
+	for id := 0; id < n; id++ {
+		for _, it := range t.itemArena[t.itemOff[id]:t.itemOff[id+1]] {
+			t.invArena[cursor[it]] = int32(id)
+			cursor[it]++
+		}
+	}
+	for it := 0; it < t.numItems; it++ {
+		run := t.invArena[t.invOff[it]:t.invOff[it+1]]
+		sort.Slice(run, func(a, b int) bool {
+			sa, sb := t.supports[run[a]], t.supports[run[b]]
+			if sa != sb {
+				return sa > sb
+			}
+			return run[a] < run[b]
+		})
+	}
+
+	// Exact-lookup table: power-of-two size at load factor <= 0.5,
+	// linear probing, -1 empty. Collisions are resolved by verifying the
+	// candidate's items against the arena.
+	size := 8
+	for size < 2*n {
+		size <<= 1
+	}
+	t.htab = make([]int32, size)
+	for i := range t.htab {
+		t.htab[i] = -1
+	}
+	mask := uint64(size - 1)
+	for id := 0; id < n; id++ {
+		h := hashItems(t.itemArena[t.itemOff[id]:t.itemOff[id+1]])
+		for i := h & mask; ; i = (i + 1) & mask {
+			if t.htab[i] < 0 {
+				t.htab[i] = int32(id)
+				break
+			}
+		}
+	}
+}
+
+// hashItems is FNV-1a over the item words of a (sorted) itemset.
+func hashItems(x itemset.Set) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range x {
+		h ^= uint64(uint32(v))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// probeFlat finds the id of the CFI whose itemset is exactly x via the
+// open-addressed table.
+func (t *Tree) probeFlat(x itemset.Set) (int, bool) {
+	if len(t.htab) == 0 || len(x) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.htab) - 1)
+	for i := hashItems(x) & mask; ; i = (i + 1) & mask {
+		id := t.htab[i]
+		if id < 0 {
+			return 0, false
+		}
+		items := t.itemArena[t.itemOff[id]:t.itemOff[id+1]]
+		if equalItems(items, x) {
+			return int(id), true
+		}
+	}
+}
+
+func equalItems(a, b itemset.Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// closureFlat resolves the closure of a non-empty x on the slabs: exact
+// probe first, then a single early-exit pass over the shortest inverted
+// list of x's items.
+func (t *Tree) closureFlat(x itemset.Set) (int, bool) {
+	if id, ok := t.probeFlat(x); ok {
+		return id, true
+	}
+	shortest := itemset.Item(-1)
+	shortLen := int32(0)
+	for _, it := range x {
+		l := t.invOff[it+1] - t.invOff[it]
+		if l == 0 {
+			return 0, false
+		}
+		if shortest < 0 || l < shortLen {
+			shortest, shortLen = it, l
+		}
+	}
+	for _, id := range t.invArena[t.invOff[shortest]:t.invOff[shortest+1]] {
+		if t.containsAll(int(id), x) {
+			return int(id), true
+		}
+	}
+	return 0, false
+}
+
+// containsAll reports whether CFI id's itemset contains every item of x.
+// Both sides are sorted ascending, so a single merge scan suffices.
+func (t *Tree) containsAll(id int, x itemset.Set) bool {
+	items := t.itemArena[t.itemOff[id]:t.itemOff[id+1]]
+	i := 0
+	for _, v := range x {
+		for i < len(items) && items[i] < v {
+			i++
+		}
+		if i >= len(items) || items[i] != v {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// containingFlat computes ContainingIDs on the slabs: filter the
+// shortest inverted list by full containment, then restore ascending id
+// order (inverted runs are support-ordered).
+func (t *Tree) containingFlat(x itemset.Set) []int32 {
+	shortest := itemset.Item(-1)
+	shortLen := int32(0)
+	for _, it := range x {
+		l := t.invOff[it+1] - t.invOff[it]
+		if l == 0 {
+			return nil
+		}
+		if shortest < 0 || l < shortLen {
+			shortest, shortLen = it, l
+		}
+	}
+	var out []int32
+	for _, id := range t.invArena[t.invOff[shortest]:t.invOff[shortest+1]] {
+		if t.containsAll(int(id), x) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

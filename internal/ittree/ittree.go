@@ -12,47 +12,108 @@
 // Closure resolution is implemented with per-item inverted lists of CFI
 // ids: the closure of X is the CFI of maximum support among those
 // containing all of X's items.
+//
+// Two physical layouts exist behind one API. The default FlatLayout
+// packs the CFIs into struct-of-arrays slabs (see flat.go): one item
+// arena with per-CFI offsets, a dense support array, an inverted-list
+// arena whose per-item runs are ordered by (support desc, id asc) so the
+// closure scan can stop at the first containing CFI, and an
+// open-addressed hash table for exact lookup that never materializes a
+// string key. PointerLayout is the original per-CFI-struct layout with a
+// map[string]int32 exact index; it is retained as the differential
+// reference so tests can prove the slab layout answers identically.
 package ittree
 
 import (
 	"fmt"
 	"sort"
 
+	"colarm/internal/bitset"
 	"colarm/internal/charm"
 	"colarm/internal/itemset"
 )
 
+// Layout selects the physical organization of a Tree.
+type Layout int
+
+const (
+	// FlatLayout stores CFIs in contiguous struct-of-arrays slabs;
+	// the production layout.
+	FlatLayout Layout = iota
+	// PointerLayout stores CFIs as pointer-chased structs with a
+	// string-keyed exact-lookup map; the legacy/differential layout.
+	PointerLayout
+)
+
+func (l Layout) String() string {
+	switch l {
+	case FlatLayout:
+		return "flat"
+	case PointerLayout:
+		return "pointer"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
 // Tree is an immutable store of closed frequent itemsets.
 type Tree struct {
-	sets       []*charm.ClosedSet
-	byItem     [][]int32 // item id -> ascending CFI ids containing the item
-	byKey      map[string]int32
+	layout     Layout
+	sets       []*charm.ClosedSet // canonical CFIs in mining order (both layouts)
 	numRecords int
 	numItems   int
 	maxLevel   int
+
+	// PointerLayout internals.
+	byItem [][]int32 // item id -> ascending CFI ids containing the item
+	byKey  map[string]int32
+
+	// FlatLayout slabs (see flat.go).
+	itemArena []itemset.Item // all CFI items, concatenated in id order
+	itemOff   []int32        // len Size()+1; CFI i items = itemArena[itemOff[i]:itemOff[i+1]]
+	supports  []int32        // CFI i -> global support
+	tids      []*bitset.Set  // CFI i -> tidset
+	invArena  []int32        // per-item CFI-id runs, each ordered (support desc, id asc)
+	invOff    []int32        // len numItems+1; item it run = invArena[invOff[it]:invOff[it+1]]
+	htab      []int32        // open-addressed exact-lookup table over item hashes; -1 empty
 }
 
-// Build indexes the CFIs of a CHARM run. numItems is the size of the item
-// universe (Space.NumItems()).
+// Build indexes the CFIs of a CHARM run under the default FlatLayout.
+// numItems is the size of the item universe (Space.NumItems()).
 func Build(res *charm.Result, numItems int) *Tree {
+	return BuildLayout(res, numItems, FlatLayout)
+}
+
+// BuildLayout is Build with an explicit physical layout.
+func BuildLayout(res *charm.Result, numItems int, layout Layout) *Tree {
 	t := &Tree{
+		layout:     layout,
 		sets:       res.Closed,
-		byItem:     make([][]int32, numItems),
-		byKey:      make(map[string]int32, len(res.Closed)),
 		numRecords: res.NumRecords,
 		numItems:   numItems,
 	}
-	for id, c := range res.Closed {
-		t.byKey[c.Items.Key()] = int32(id)
-		for _, it := range c.Items {
-			t.byItem[it] = append(t.byItem[it], int32(id))
-		}
+	for _, c := range res.Closed {
 		if len(c.Items) > t.maxLevel {
 			t.maxLevel = len(c.Items)
 		}
 	}
+	if layout == PointerLayout {
+		t.byItem = make([][]int32, numItems)
+		t.byKey = make(map[string]int32, len(res.Closed))
+		for id, c := range res.Closed {
+			t.byKey[c.Items.Key()] = int32(id)
+			for _, it := range c.Items {
+				t.byItem[it] = append(t.byItem[it], int32(id))
+			}
+		}
+		return t
+	}
+	t.buildFlat(res.Closed)
 	return t
 }
+
+// Layout reports the tree's physical layout.
+func (t *Tree) Layout() Layout { return t.layout }
 
 // Size returns the number of stored CFIs.
 func (t *Tree) Size() int { return len(t.sets) }
@@ -71,12 +132,55 @@ func (t *Tree) Set(id int) *charm.ClosedSet { return t.sets[id] }
 // Sets returns all stored CFIs in mining order. Callers must not mutate.
 func (t *Tree) Sets() []*charm.ClosedSet { return t.sets }
 
+// Support returns the global support count of the CFI with the given id.
+// On the flat layout this is a dense-array read, the hot-path form the
+// plans use instead of Set(id).Support.
+func (t *Tree) Support(id int) int {
+	if t.layout == FlatLayout {
+		return int(t.supports[id])
+	}
+	return t.sets[id].Support
+}
+
+// Items returns the itemset of the CFI with the given id. On the flat
+// layout the returned slice aliases the item arena; callers must not
+// mutate it.
+func (t *Tree) Items(id int) itemset.Set {
+	if t.layout == FlatLayout {
+		return t.itemArena[t.itemOff[id]:t.itemOff[id+1]]
+	}
+	return t.sets[id].Items
+}
+
+// Tids returns the tidset of the CFI with the given id. Callers must not
+// mutate it.
+func (t *Tree) Tids(id int) *bitset.Set {
+	if t.layout == FlatLayout {
+		return t.tids[id]
+	}
+	return t.sets[id].Tids
+}
+
 // Lookup finds the CFI whose itemset is exactly x.
 func (t *Tree) Lookup(x itemset.Set) (*charm.ClosedSet, bool) {
-	if id, ok := t.byKey[x.Key()]; ok {
-		return t.sets[id], true
+	id, ok := t.LookupID(x)
+	if !ok {
+		return nil, false
 	}
-	return nil, false
+	return t.sets[id], true
+}
+
+// LookupID finds the id of the CFI whose itemset is exactly x. On the
+// flat layout this probes the open-addressed hash table with collision
+// verification against the item arena — no string key is built.
+func (t *Tree) LookupID(x itemset.Set) (int, bool) {
+	if t.layout == FlatLayout {
+		return t.probeFlat(x)
+	}
+	if id, ok := t.byKey[x.Key()]; ok {
+		return int(id), true
+	}
+	return 0, false
 }
 
 // Closure returns the closure of x: the unique CFI c with
@@ -96,6 +200,9 @@ func (t *Tree) Closure(x itemset.Set) (*charm.ClosedSet, bool) {
 func (t *Tree) ClosureID(x itemset.Set) (int, bool) {
 	if len(x) == 0 {
 		return 0, false
+	}
+	if t.layout == FlatLayout {
+		return t.closureFlat(x)
 	}
 	// Exact hit short-circuits the list intersection.
 	if id, ok := t.byKey[x.Key()]; ok {
@@ -142,16 +249,16 @@ func indexOf(x itemset.Set, it itemset.Item) int {
 // itemset x, resolved through its closure, or -1 when x is not covered by
 // the stored CFIs.
 func (t *Tree) GlobalSupport(x itemset.Set) int {
-	c, ok := t.Closure(x)
+	id, ok := t.ClosureID(x)
 	if !ok {
 		return -1
 	}
-	return c.Support
+	return t.Support(id)
 }
 
 // Validate checks internal invariants: closure of every stored itemset is
-// itself, and every subset of a stored CFI resolves to a closure with at
-// least its support. Used by index-construction tests.
+// itself, every exact lookup finds its own id, and the flat slabs agree
+// with the canonical CFIs. Used by index-construction tests.
 func (t *Tree) Validate() error {
 	for id, c := range t.sets {
 		got, ok := t.Closure(c.Items)
@@ -160,6 +267,15 @@ func (t *Tree) Validate() error {
 		}
 		if !got.Items.Equal(c.Items) {
 			return fmt.Errorf("ittree: Closure(%v) = %v, want identity", c.Items, got.Items)
+		}
+		if lid, ok := t.LookupID(c.Items); !ok || lid != id {
+			return fmt.Errorf("ittree: LookupID(%v) = (%d,%v), want (%d,true)", c.Items, lid, ok, id)
+		}
+		if t.Support(id) != c.Support {
+			return fmt.Errorf("ittree: Support(%d) = %d, want %d", id, t.Support(id), c.Support)
+		}
+		if !t.Items(id).Equal(c.Items) {
+			return fmt.Errorf("ittree: Items(%d) = %v, want %v", id, t.Items(id), c.Items)
 		}
 	}
 	return nil
@@ -170,6 +286,9 @@ func (t *Tree) Validate() error {
 func (t *Tree) ContainingIDs(x itemset.Set) []int32 {
 	if len(x) == 0 {
 		return nil
+	}
+	if t.layout == FlatLayout {
+		return t.containingFlat(x)
 	}
 	cur := append([]int32(nil), t.byItem[x[0]]...)
 	for _, it := range x[1:] {
@@ -219,7 +338,7 @@ func (t *Tree) SortedBySupport() []int32 {
 		ids[i] = int32(i)
 	}
 	sort.Slice(ids, func(a, b int) bool {
-		sa, sb := t.sets[ids[a]].Support, t.sets[ids[b]].Support
+		sa, sb := t.Support(int(ids[a])), t.Support(int(ids[b]))
 		if sa != sb {
 			return sa > sb
 		}

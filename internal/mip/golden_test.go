@@ -1,0 +1,275 @@
+package mip
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"colarm/internal/bitset"
+	"colarm/internal/charm"
+	"colarm/internal/datagen"
+	"colarm/internal/itemset"
+)
+
+// The golden-bytes compat corpus pins the snapshot lineage: crafted v2,
+// v3 and v4 streams (the formats of earlier releases) committed as
+// testdata, plus v5 reference streams for the same indexes.
+// TestGoldenSnapshotCompat asserts every legacy stream loads under the
+// v5 reader and converges — bit for bit — to the same re-serialized v5
+// bytes as the v5 reference, so a reader change that silently alters
+// what old files restore to fails the suite.
+//
+// Byte comparisons are done between streams written in the SAME
+// process: gob allocates wire type ids from a process-global registry,
+// so the exact bytes of a stream depend on which gob types were
+// encoded earlier in the process. Raw committed bytes are therefore
+// only asserted to LOAD (self-describing streams), while equality is
+// asserted between in-process re-serializations.
+//
+// Regenerate with:
+//
+//	COLARM_WRITE_GOLDEN=1 go test ./internal/mip/ -run TestWriteGoldenSnapshots
+//
+// Regeneration is only legitimate when introducing a new current
+// format; the v2/v3/v4 files must then still byte-match their previous
+// committed versions (they describe frozen formats).
+
+// goldenPlainIndex builds the deterministic ghost-free index the v2/v3
+// goldens describe: the paper's salary dataset at the usual thresholds.
+func goldenPlainIndex(t testing.TB) *Index {
+	t.Helper()
+	idx, err := Build(datagen.Salary(), Options{PrimarySupport: 0.18, Fanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+// goldenPlainMeta carries a non-trivial engine state so the metadata
+// fields are pinned too.
+func goldenPlainMeta() SnapshotMeta {
+	return SnapshotMeta{
+		Primary:    0.18,
+		Generation: 2,
+		DeltaRows:  [][]int32{{0, 1, 0, 1, 0, 1}, {1, 0, 1, 0, 1, 0}},
+		DeltaDels:  []int32{3},
+	}
+}
+
+// goldenGhostIndex builds the deterministic ghost-carrying index the
+// v4 golden describes: salary with two records consolidated away —
+// exactly the layout a sharded consolidation produces (ids stable,
+// deleted rows outside the Live mask, catalog mined over live records).
+func goldenGhostIndex(t testing.TB) *Index {
+	t.Helper()
+	d := datagen.Salary()
+	sp := itemset.NewSpace(d)
+	live := bitset.New(d.NumRecords())
+	live.Fill()
+	live.Remove(3)
+	live.Remove(7)
+	tids := itemset.ItemTidsets(d, sp)
+	for _, s := range tids {
+		s.And(live)
+		s.Optimize()
+	}
+	primaryCount := charm.CountFor(0.18, live.Count())
+	res, err := charm.MineTidsets(tids, d.NumRecords(), primaryCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Assemble(d, sp, tids, res, primaryCount, Options{Fanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Live = live
+	return idx
+}
+
+// legacySnapshotOf rebuilds the v2/v3/v4 payload struct for an index,
+// with tidsets in the dense v2 encoding or the hybrid v3+ encoding.
+func legacySnapshotOf(t testing.TB, idx *Index, dense bool, meta SnapshotMeta) *snapshot {
+	t.Helper()
+	snap := &snapshot{
+		Name:         idx.Dataset.Name,
+		PrimaryCount: idx.PrimaryCount,
+		Fanout:       idx.RTree.Fanout(),
+		Meta:         meta,
+	}
+	for _, a := range idx.Dataset.Attrs {
+		snap.Attrs = append(snap.Attrs, snapAttr{Name: a.Name, Values: a.Values})
+	}
+	m, n := idx.Dataset.NumRecords(), idx.Dataset.NumAttrs()
+	for r := 0; r < m; r++ {
+		for a := 0; a < n; a++ {
+			snap.Rows = append(snap.Rows, int32(idx.Dataset.Value(r, a)))
+		}
+	}
+	for id := 0; id < idx.ITTree.Size(); id++ {
+		items := make([]int32, 0, len(idx.ITTree.Items(id)))
+		for _, it := range idx.ITTree.Items(id) {
+			items = append(items, int32(it))
+		}
+		var tb []byte
+		if dense {
+			tb = denseV2Bytes(idx.ITTree.Tids(id))
+		} else {
+			var err error
+			tb, err = idx.ITTree.Tids(id).MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap.CFIs = append(snap.CFIs, snapCFI{Items: items, Tids: tb, Support: idx.ITTree.Support(id)})
+		snap.Boxes = append(snap.Boxes, snapBox{Lo: idx.Boxes[id].Lo, Hi: idx.Boxes[id].Hi})
+	}
+	return snap
+}
+
+func encodeLegacy(t testing.TB, magic string, snap *snapshot, live *bitset.Set) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(magic); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	if live != nil {
+		raw, err := live.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestWriteGoldenSnapshots regenerates the committed corpus; guarded so
+// a normal test run never rewrites testdata.
+func TestWriteGoldenSnapshots(t *testing.T) {
+	if os.Getenv("COLARM_WRITE_GOLDEN") == "" {
+		t.Skip("set COLARM_WRITE_GOLDEN=1 to regenerate the golden snapshot corpus")
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		if err := os.WriteFile(filepath.Join("testdata", name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	plain := goldenPlainIndex(t)
+	meta := goldenPlainMeta()
+	write("golden_v2.snapshot", encodeLegacy(t, snapshotMagicV2, legacySnapshotOf(t, plain, true, meta), nil))
+	write("golden_v3.snapshot", encodeLegacy(t, snapshotMagicV3, legacySnapshotOf(t, plain, false, meta), nil))
+	var v5 bytes.Buffer
+	if _, err := plain.WriteSnapshot(&v5, meta); err != nil {
+		t.Fatal(err)
+	}
+	write("golden_v5.snapshot", v5.Bytes())
+
+	ghost := goldenGhostIndex(t)
+	write("golden_v4.snapshot", encodeLegacy(t, snapshotMagicV4, legacySnapshotOf(t, ghost, false, SnapshotMeta{Primary: 0.18, Generation: 1}), ghost.Live))
+	var v5g bytes.Buffer
+	if _, err := ghost.WriteSnapshot(&v5g, SnapshotMeta{Primary: 0.18, Generation: 1}); err != nil {
+		t.Fatal(err)
+	}
+	write("golden_v5_ghost.snapshot", v5g.Bytes())
+}
+
+// loadGolden reads and restores one committed stream.
+func loadGolden(t *testing.T, file string) (*Index, SnapshotMeta) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", file))
+	if err != nil {
+		t.Fatalf("golden corpus missing (regenerate with COLARM_WRITE_GOLDEN=1): %v", err)
+	}
+	idx, meta, err := ReadSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("loading %s: %v", file, err)
+	}
+	if err := idx.Validate(); err != nil {
+		t.Fatalf("%s restored an invalid index: %v", file, err)
+	}
+	return idx, meta
+}
+
+// reserialize writes an index back out with the current (v5) writer.
+func reserialize(t *testing.T, idx *Index, meta SnapshotMeta) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := idx.WriteSnapshot(&buf, meta); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenSnapshotCompat loads every committed legacy stream and
+// asserts it restores to exactly the index its v5 reference stream
+// describes: re-serializing the legacy load (with its loaded metadata)
+// must match the re-serialized v5 reference load bit for bit, and the
+// v5 reference must itself match a fresh deterministic build — so the
+// whole lineage converges on one set of bytes.
+func TestGoldenSnapshotCompat(t *testing.T) {
+	groups := []struct {
+		name   string
+		ref    string   // committed v5 reference stream
+		legacy []string // committed legacy streams of the same index
+		fresh  func() []byte
+	}{
+		{
+			name:   "plain",
+			ref:    "golden_v5.snapshot",
+			legacy: []string{"golden_v2.snapshot", "golden_v3.snapshot"},
+			fresh: func() []byte {
+				return reserialize(t, goldenPlainIndex(t), goldenPlainMeta())
+			},
+		},
+		{
+			name:   "ghost",
+			ref:    "golden_v5_ghost.snapshot",
+			legacy: []string{"golden_v4.snapshot"},
+			fresh: func() []byte {
+				return reserialize(t, goldenGhostIndex(t), SnapshotMeta{Primary: 0.18, Generation: 1})
+			},
+		},
+	}
+	for _, g := range groups {
+		t.Run(g.name, func(t *testing.T) {
+			refIdx, refMeta := loadGolden(t, g.ref)
+			refBytes := reserialize(t, refIdx, refMeta)
+
+			// The v5 reference round-trips: loading the re-serialized
+			// bytes and writing again is a fixed point.
+			againIdx, againMeta, err := ReadSnapshot(bytes.NewReader(refBytes))
+			if err != nil {
+				t.Fatalf("%s does not round-trip: %v", g.ref, err)
+			}
+			if !bytes.Equal(reserialize(t, againIdx, againMeta), refBytes) {
+				t.Fatalf("%s: re-serialization is not a fixed point", g.ref)
+			}
+
+			for _, file := range g.legacy {
+				idx, meta := loadGolden(t, file)
+				got := reserialize(t, idx, meta)
+				if !bytes.Equal(got, refBytes) {
+					t.Fatalf("%s re-serializes to %d bytes differing from the %s load (%d bytes): the legacy stream does not restore identically",
+						file, len(got), g.ref, len(refBytes))
+				}
+			}
+
+			// The corpus must describe what the current builder
+			// produces for the same deterministic inputs.
+			if freshBytes := g.fresh(); !bytes.Equal(freshBytes, refBytes) {
+				t.Fatalf("fresh deterministic build no longer matches the committed %s", g.ref)
+			}
+		})
+	}
+}

@@ -21,10 +21,49 @@ import (
 	"colarm/internal/charm"
 	"colarm/internal/itemset"
 	"colarm/internal/ittree"
+	"colarm/internal/pool"
 	"colarm/internal/qerr"
 	"colarm/internal/relation"
 	"colarm/internal/rtree"
 )
+
+// Layout selects the physical layout of both index layers: FlatLayout
+// (the default) packs the IT-tree and R-tree into contiguous
+// struct-of-arrays slabs; PointerLayout keeps the original
+// one-heap-object-per-node organization as the differential reference.
+type Layout int
+
+const (
+	FlatLayout Layout = iota
+	PointerLayout
+)
+
+func (l Layout) String() string {
+	switch l {
+	case FlatLayout:
+		return "flat"
+	case PointerLayout:
+		return "pointer"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// ITTreeLayout maps the index-level layout to the IT-tree layer's.
+func (l Layout) ITTreeLayout() ittree.Layout {
+	if l == PointerLayout {
+		return ittree.PointerLayout
+	}
+	return ittree.FlatLayout
+}
+
+// RTreeLayout maps the index-level layout to the R-tree layer's.
+func (l Layout) RTreeLayout() rtree.Layout {
+	if l == PointerLayout {
+		return rtree.PointerLayout
+	}
+	return rtree.FlatLayout
+}
 
 // Options configures the offline preprocessing phase.
 type Options struct {
@@ -36,6 +75,13 @@ type Options struct {
 	Fanout int
 	// Packing selects the bulk-loading scheme for the R-tree.
 	Packing rtree.Packing
+	// Layout selects the physical layout of the index layers.
+	Layout Layout
+	// Workers bounds the fan-out of the per-CFI bounding-box computation
+	// during assembly: 0 means one worker per CPU, 1 forces serial. Box
+	// probes are independent reads over immutable tidsets and land in
+	// pre-indexed slots, so the result is worker-count-invariant.
+	Workers int
 }
 
 // Index is the built MIP-index plus everything the online phase needs:
@@ -55,6 +101,8 @@ type Index struct {
 	PrimaryCount int
 	// Cards caches per-attribute cardinalities (R-tree axis sizes).
 	Cards []int
+	// Layout records the physical layout the index was assembled with.
+	Layout Layout
 	// Live, when non-nil, flags the records of Dataset that exist: a
 	// consolidated sharded engine absorbs deletions without renumbering
 	// record ids (hash partitioning must stay stable), so deleted rows
@@ -107,20 +155,25 @@ func assemble(d *relation.Dataset, sp *itemset.Space, tidsets []*bitset.Set, res
 		Dataset:      d,
 		Space:        sp,
 		Tidsets:      tidsets,
-		ITTree:       ittree.Build(res, sp.NumItems()),
+		ITTree:       ittree.BuildLayout(res, sp.NumItems(), opts.Layout.ITTreeLayout()),
 		PrimaryCount: primaryCount,
+		Layout:       opts.Layout,
 	}
 	idx.Cards = make([]int, sp.NumAttrs())
 	for a := range idx.Cards {
 		idx.Cards[a] = sp.Cardinality(a)
 	}
+	// Box probes are independent tidset reads landing in pre-indexed
+	// slots, so they fan out across the worker pool without affecting the
+	// result.
 	idx.Boxes = make([]itemset.Box, len(res.Closed))
 	entries := make([]rtree.Entry, len(res.Closed))
-	for id, c := range res.Closed {
+	pool.For(len(res.Closed), pool.Workers(opts.Workers), func(id int) {
+		c := res.Closed[id]
 		idx.Boxes[id] = idx.boundingBox(c)
 		entries[id] = rtree.Entry{Box: idx.Boxes[id], ID: int32(id), Support: int32(c.Support)}
-	}
-	rt, err := rtree.Bulk(entries, sp.NumAttrs(), opts.Fanout, opts.Packing, idx.Cards)
+	})
+	rt, err := rtree.BulkLayout(entries, sp.NumAttrs(), opts.Fanout, opts.Packing, idx.Cards, opts.Layout.RTreeLayout())
 	if err != nil {
 		return nil, err
 	}

@@ -49,12 +49,26 @@ import (
 // readers round-trip those snapshots unchanged; only ghost-carrying
 // snapshots get the v4 magic, which v3 readers reject with a typed
 // version error instead of silently resurrecting deleted rows.
-const snapshotMagic = "COLARM-MIP-v3"
+//
+// v5 is the slab format matching the flat in-memory layout: CFI
+// itemsets are one offset-indexed item arena instead of a slice per
+// CFI, tidset encodings are one offset-indexed byte arena, and boxes
+// are one inline Lo/Hi arena — a handful of large gob values instead of
+// tens of thousands of small ones, decoded straight into the arenas the
+// flat index is built from. The ghost mask is a payload field (empty
+// means none) rather than a trailing value. v4, v3 and v2 streams are
+// accepted read-only; the golden-bytes compat test pins crafted streams
+// of all three as testdata.
+const snapshotMagic = "COLARM-MIP-v5"
 
-// snapshotMagicV4 is the sharded ghost-mask format (see above).
+// snapshotMagicV4 is the sharded ghost-mask format (see above),
+// accepted read-only.
 const snapshotMagicV4 = "COLARM-MIP-v4"
 
-// snapshotMagicV2 is the previous format, accepted read-only.
+// snapshotMagicV3 is the hybrid-tidset format, accepted read-only.
+const snapshotMagicV3 = "COLARM-MIP-v3"
+
+// snapshotMagicV2 is the dense-tidset format, accepted read-only.
 const snapshotMagicV2 = "COLARM-MIP-v2"
 
 // SnapshotMeta is the engine-level state a snapshot carries alongside
@@ -71,6 +85,8 @@ type SnapshotMeta struct {
 	DeltaDels []int32
 }
 
+// snapshot is the legacy v2/v3/v4 payload, retained for reading old
+// streams (and for crafting golden compat testdata).
 type snapshot struct {
 	// Dataset.
 	Name  string
@@ -83,6 +99,36 @@ type snapshot struct {
 	Packing      int
 	CFIs         []snapCFI
 	Boxes        []snapBox
+
+	Meta SnapshotMeta
+}
+
+// snapshotV5 is the slab payload: per-CFI data lives in offset-indexed
+// arenas mirroring the flat in-memory layout.
+type snapshotV5 struct {
+	// Dataset.
+	Name  string
+	Attrs []snapAttr
+	Rows  []int32 // row-major value indices, m*n entries
+
+	// Index parameters.
+	PrimaryCount int
+	Fanout       int
+	Packing      int
+
+	// CFI slabs. CFI i owns ItemArena[ItemOff[i]:ItemOff[i+1]],
+	// TidArena[TidOff[i]:TidOff[i+1]] (a bitset.Set binary encoding) and
+	// BoxArena[i*2n : (i+1)*2n] (n Lo values then n Hi values).
+	ItemArena []int32
+	ItemOff   []int32
+	Supports  []int32
+	TidArena  []byte
+	TidOff    []int64
+	BoxArena  []int32
+
+	// Live is the ghost mask of a consolidated sharded engine (bitset
+	// binary encoding); empty means every record is live.
+	Live []byte
 
 	Meta SnapshotMeta
 }
@@ -113,7 +159,7 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 // SnapshotMeta); ReadSnapshot restores both.
 func (x *Index) WriteSnapshot(w io.Writer, meta SnapshotMeta) (int64, error) {
 	bw := &countingWriter{w: bufio.NewWriter(w)}
-	snap := snapshot{
+	snap := snapshotV5{
 		Name:         x.Dataset.Name,
 		PrimaryCount: x.PrimaryCount,
 		Fanout:       x.RTree.Fanout(),
@@ -129,40 +175,47 @@ func (x *Index) WriteSnapshot(w io.Writer, meta SnapshotMeta) (int64, error) {
 			snap.Rows = append(snap.Rows, int32(x.Dataset.Value(r, a)))
 		}
 	}
-	for id := 0; id < x.ITTree.Size(); id++ {
-		c := x.ITTree.Set(id)
-		tids, err := c.Tids.MarshalBinary()
+	k := x.ITTree.Size()
+	snap.ItemOff = make([]int32, k+1)
+	snap.TidOff = make([]int64, k+1)
+	snap.Supports = make([]int32, k)
+	snap.BoxArena = make([]int32, 0, k*2*n)
+	for id := 0; id < k; id++ {
+		for _, it := range x.ITTree.Items(id) {
+			snap.ItemArena = append(snap.ItemArena, int32(it))
+		}
+		snap.ItemOff[id+1] = int32(len(snap.ItemArena))
+		// Marshal a canonical container form: the bytes written must
+		// depend only on the tidset's content, not on the container
+		// history its construction happened to leave behind, so equal
+		// indexes always snapshot to equal bytes.
+		canon := x.ITTree.Tids(id).Clone()
+		canon.Optimize()
+		tids, err := canon.MarshalBinary()
 		if err != nil {
 			return bw.n, err
 		}
-		items := make([]int32, len(c.Items))
-		for i, it := range c.Items {
-			items[i] = int32(it)
-		}
-		snap.CFIs = append(snap.CFIs, snapCFI{Items: items, Tids: tids, Support: c.Support})
-		snap.Boxes = append(snap.Boxes, snapBox{Lo: x.Boxes[id].Lo, Hi: x.Boxes[id].Hi})
+		snap.TidArena = append(snap.TidArena, tids...)
+		snap.TidOff[id+1] = int64(len(snap.TidArena))
+		snap.Supports[id] = int32(x.ITTree.Support(id))
+		snap.BoxArena = append(snap.BoxArena, x.Boxes[id].Lo...)
+		snap.BoxArena = append(snap.BoxArena, x.Boxes[id].Hi...)
 	}
-	magic := snapshotMagic
 	if x.Live != nil {
-		magic = snapshotMagicV4
+		canon := x.Live.Clone()
+		canon.Optimize()
+		live, err := canon.MarshalBinary()
+		if err != nil {
+			return bw.n, err
+		}
+		snap.Live = live
 	}
 	enc := gob.NewEncoder(bw)
-	if err := enc.Encode(magic); err != nil {
+	if err := enc.Encode(snapshotMagic); err != nil {
 		return bw.n, fmt.Errorf("mip: encoding snapshot magic: %w", err)
 	}
 	if err := enc.Encode(&snap); err != nil {
 		return bw.n, fmt.Errorf("mip: encoding snapshot: %w", err)
-	}
-	if x.Live != nil {
-		// The ghost mask rides after the unchanged v3 payload as its own
-		// gob value, so the Live == nil stream stays byte-for-byte v3.
-		live, err := x.Live.MarshalBinary()
-		if err != nil {
-			return bw.n, err
-		}
-		if err := enc.Encode(live); err != nil {
-			return bw.n, fmt.Errorf("mip: encoding live mask: %w", err)
-		}
 	}
 	if err := bw.w.(*bufio.Writer).Flush(); err != nil {
 		return bw.n, err
@@ -187,29 +240,86 @@ func ReadSnapshot(r io.Reader) (*Index, SnapshotMeta, error) {
 	if err := dec.Decode(&magic); err != nil {
 		return nil, SnapshotMeta{}, fmt.Errorf("mip: %w: stream does not start with a snapshot version marker", qerr.ErrSnapshotVersion)
 	}
-	if magic != snapshotMagic && magic != snapshotMagicV4 && magic != snapshotMagicV2 {
-		return nil, SnapshotMeta{}, fmt.Errorf("mip: %w: snapshot is %q, this build reads %q and %q (and %q read-only)", qerr.ErrSnapshotVersion, magic, snapshotMagicV4, snapshotMagic, snapshotMagicV2)
+	switch magic {
+	case snapshotMagic:
+		var snap snapshotV5
+		if err := dec.Decode(&snap); err != nil {
+			return nil, SnapshotMeta{}, fmt.Errorf("mip: decoding snapshot: %w", err)
+		}
+		idx, err := decodeSnapshotV5(&snap)
+		if err != nil {
+			return nil, SnapshotMeta{}, err
+		}
+		return idx, snap.Meta, nil
+	case snapshotMagicV4, snapshotMagicV3, snapshotMagicV2:
+		var snap snapshot
+		if err := dec.Decode(&snap); err != nil {
+			return nil, SnapshotMeta{}, fmt.Errorf("mip: decoding snapshot: %w", err)
+		}
+		var live *bitset.Set
+		if magic == snapshotMagicV4 {
+			var raw []byte
+			if err := dec.Decode(&raw); err != nil {
+				return nil, SnapshotMeta{}, fmt.Errorf("mip: decoding live mask: %w", err)
+			}
+			live = &bitset.Set{}
+			if err := live.UnmarshalBinary(raw); err != nil {
+				return nil, SnapshotMeta{}, fmt.Errorf("mip: live mask: %w", err)
+			}
+		}
+		idx, err := decodeSnapshot(&snap, live)
+		if err != nil {
+			return nil, SnapshotMeta{}, err
+		}
+		return idx, snap.Meta, nil
+	default:
+		return nil, SnapshotMeta{}, fmt.Errorf("mip: %w: snapshot is %q, this build reads %q (and %q, %q, %q read-only)", qerr.ErrSnapshotVersion, magic, snapshotMagic, snapshotMagicV4, snapshotMagicV3, snapshotMagicV2)
 	}
-	var snap snapshot
-	if err := dec.Decode(&snap); err != nil {
-		return nil, SnapshotMeta{}, fmt.Errorf("mip: decoding snapshot: %w", err)
+}
+
+// decodeSnapshotV5 converts the slab payload into the legacy per-CFI
+// shape and funnels through the same validation/assembly path, so both
+// formats restore byte-identical indexes.
+func decodeSnapshotV5(snap *snapshotV5) (*Index, error) {
+	k := len(snap.Supports)
+	if len(snap.ItemOff) != k+1 || len(snap.TidOff) != k+1 {
+		return nil, fmt.Errorf("mip: snapshot slab offsets malformed: %d CFIs, %d item offsets, %d tid offsets", k, len(snap.ItemOff), len(snap.TidOff))
+	}
+	n := len(snap.Attrs)
+	if len(snap.BoxArena) != k*2*n {
+		return nil, fmt.Errorf("mip: snapshot box arena has %d values, want %d", len(snap.BoxArena), k*2*n)
+	}
+	legacy := &snapshot{
+		Name:         snap.Name,
+		Attrs:        snap.Attrs,
+		Rows:         snap.Rows,
+		PrimaryCount: snap.PrimaryCount,
+		Fanout:       snap.Fanout,
+		Packing:      snap.Packing,
+		Meta:         snap.Meta,
+	}
+	for i := 0; i < k; i++ {
+		io0, io1 := snap.ItemOff[i], snap.ItemOff[i+1]
+		to0, to1 := snap.TidOff[i], snap.TidOff[i+1]
+		if io0 < 0 || io1 < io0 || int(io1) > len(snap.ItemArena) || to0 < 0 || to1 < to0 || int(to1) > len(snap.TidArena) {
+			return nil, fmt.Errorf("mip: snapshot CFI %d has out-of-range slab offsets", i)
+		}
+		o := i * 2 * n
+		legacy.CFIs = append(legacy.CFIs, snapCFI{
+			Items:   snap.ItemArena[io0:io1],
+			Tids:    snap.TidArena[to0:to1],
+			Support: int(snap.Supports[i]),
+		})
+		legacy.Boxes = append(legacy.Boxes, snapBox{Lo: snap.BoxArena[o : o+n], Hi: snap.BoxArena[o+n : o+2*n]})
 	}
 	var live *bitset.Set
-	if magic == snapshotMagicV4 {
-		var raw []byte
-		if err := dec.Decode(&raw); err != nil {
-			return nil, SnapshotMeta{}, fmt.Errorf("mip: decoding live mask: %w", err)
-		}
+	if len(snap.Live) > 0 {
 		live = &bitset.Set{}
-		if err := live.UnmarshalBinary(raw); err != nil {
-			return nil, SnapshotMeta{}, fmt.Errorf("mip: live mask: %w", err)
+		if err := live.UnmarshalBinary(snap.Live); err != nil {
+			return nil, fmt.Errorf("mip: live mask: %w", err)
 		}
 	}
-	idx, err := decodeSnapshot(&snap, live)
-	if err != nil {
-		return nil, SnapshotMeta{}, err
-	}
-	return idx, snap.Meta, nil
+	return decodeSnapshot(legacy, live)
 }
 
 func decodeSnapshot(snap *snapshot, live *bitset.Set) (*Index, error) {
@@ -258,6 +368,10 @@ func decodeSnapshot(snap *snapshot, live *bitset.Set) (*Index, error) {
 		if tids.Len() != d.NumRecords() {
 			return nil, fmt.Errorf("mip: CFI %d tidset capacity %d != %d records", i, tids.Len(), d.NumRecords())
 		}
+		// Normalize the container form: v2 streams carry dense words,
+		// and a restored index must re-serialize identically to a fresh
+		// build regardless of the source encoding.
+		tids.Optimize()
 		items := make(itemset.Set, len(sc.Items))
 		for j, it := range sc.Items {
 			if it < 0 || int(it) >= sp.NumItems() {
@@ -307,8 +421,9 @@ func assembleFromBoxes(d *relation.Dataset, sp *itemset.Space, res *charm.Result
 		Tidsets:      itemset.ItemTidsets(d, sp),
 		PrimaryCount: primaryCount,
 		Boxes:        boxes,
+		Layout:       opts.Layout,
 	}
-	idx.ITTree = ittree.Build(res, sp.NumItems())
+	idx.ITTree = ittree.BuildLayout(res, sp.NumItems(), opts.Layout.ITTreeLayout())
 	idx.Cards = make([]int, sp.NumAttrs())
 	for a := range idx.Cards {
 		idx.Cards[a] = sp.Cardinality(a)
@@ -317,7 +432,7 @@ func assembleFromBoxes(d *relation.Dataset, sp *itemset.Space, res *charm.Result
 	for id, c := range res.Closed {
 		entries[id] = rtree.Entry{Box: boxes[id], ID: int32(id), Support: int32(c.Support)}
 	}
-	rt, err := rtree.Bulk(entries, sp.NumAttrs(), opts.Fanout, opts.Packing, idx.Cards)
+	rt, err := rtree.BulkLayout(entries, sp.NumAttrs(), opts.Fanout, opts.Packing, idx.Cards, opts.Layout.RTreeLayout())
 	if err != nil {
 		return nil, err
 	}

@@ -192,7 +192,7 @@ func TestReadSnapshotV2Compat(t *testing.T) {
 // TestReadSnapshotRejectsUnknownVersion pins that only the current and
 // previous magic strings are accepted.
 func TestReadSnapshotRejectsUnknownVersion(t *testing.T) {
-	for _, magic := range []string{"COLARM-MIP-v1", "COLARM-MIP-v5", "something else"} {
+	for _, magic := range []string{"COLARM-MIP-v1", "COLARM-MIP-v6", "something else"} {
 		var buf bytes.Buffer
 		enc := gob.NewEncoder(&buf)
 		if err := enc.Encode(magic); err != nil {

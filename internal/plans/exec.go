@@ -100,6 +100,28 @@ func (ex *Executor) view() *View {
 	return ex.ViewSource()
 }
 
+// Applicable reports whether the prestored CFIs can answer the query
+// completely: the localized support-count threshold — minsupport over
+// the focal subset of the current surface (frozen index, or merged
+// delta view) — must reach the primary-support count the surface's
+// CFIs were mined at. Below that bound an itemset can clear the query
+// threshold inside D^Q while staying infrequent at the primary support
+// globally, so no CFI records it and only ARM — mining the focal
+// subset from scratch — returns the full localized answer. The
+// optimizer consults this before honoring its argmin.
+func (ex *Executor) Applicable(q *Query) bool {
+	var dq *bitset.Set
+	primaryCount := ex.Idx.PrimaryCount
+	if v := ex.view(); v != nil {
+		dq = itemset.RegionTidset(q.Region, ex.Idx.Space, v.Tidsets, v.NumRecords)
+		dq.And(v.Live)
+		primaryCount = v.PrimaryCount
+	} else {
+		dq = ex.Idx.SubsetBitmap(q.Region)
+	}
+	return charm.CountFor(q.MinSupport, dq.Count()) >= primaryCount
+}
+
 // NewExecutor creates an executor over the given index.
 func NewExecutor(idx *mip.Index) *Executor { return &Executor{Idx: idx} }
 
@@ -374,14 +396,14 @@ func (c *qctx) search(supported bool) ([]candidate, error) {
 			if err := c.cancelled(); err != nil {
 				return nil, err
 			}
-			if supported && c.tree.Set(id).Support < c.minCount {
+			if supported && c.tree.Support(id) < c.minCount {
 				continue
 			}
 			rel := c.q.Region.Relation(box)
 			if rel == itemset.Disjoint {
 				continue
 			}
-			if !visit(rtree.Entry{Box: box, ID: int32(id), Support: int32(c.tree.Set(id).Support)}, rel) {
+			if !visit(rtree.Entry{Box: box, ID: int32(id), Support: int32(c.tree.Support(id))}, rel) {
 				break
 			}
 		}
@@ -463,8 +485,7 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) ([]qualified
 		if err := c.cancelled(); err != nil {
 			return nil, err
 		}
-		full := c.tree.Set(int(cd.id))
-		body, all := full.Items.RestrictedTo(sp, c.mask)
+		body, all := c.tree.Items(int(cd.id)).RestrictedTo(sp, c.mask)
 		if len(body) < 2 {
 			c.st.ItemFiltered++
 			continue
@@ -481,7 +502,7 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) ([]qualified
 				continue
 			}
 			cid = int32(id)
-			body, _ = c.tree.Set(id).Items.RestrictedTo(sp, c.mask)
+			body, _ = c.tree.Items(id).RestrictedTo(sp, c.mask)
 			if len(body) < 2 {
 				c.st.ItemFiltered++
 				continue
@@ -502,7 +523,7 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) ([]qualified
 			// D^Q, so the global support IS the local one. (A cid already
 			// scheduled for a check keeps the check; both produce the
 			// same value, so the counters stay order-faithful.)
-			c.localSupp[int(cid)] = c.tree.Set(int(cid)).Support
+			c.localSupp[int(cid)] = c.tree.Support(int(cid))
 			shortcuts++
 		} else if _, done := c.localSupp[int(cid)]; !done && !scheduled[cid] {
 			scheduled[cid] = true
@@ -527,7 +548,7 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) ([]qualified
 		k := len(c.slices)
 		partial := make([]int, len(checkIDs)*k)
 		used, err = parallelForCtx(c.ctx, len(partial), c.workers, func(j int) {
-			partial[j] = c.countLocalShard(c.tree.Set(int(checkIDs[j/k])).Tids, j%k)
+			partial[j] = c.countLocalShard(c.tree.Tids(int(checkIDs[j/k])), j%k)
 		})
 		if err != nil {
 			return nil, err
@@ -541,7 +562,7 @@ func (c *qctx) eliminate(cands []candidate, containedShortcut bool) ([]qualified
 		}
 	} else {
 		used, err = parallelForCtx(c.ctx, len(checkIDs), c.workers, func(i int) {
-			counts[i] = c.countLocal(c.tree.Set(int(checkIDs[i])).Tids)
+			counts[i] = c.countLocal(c.tree.Tids(int(checkIDs[i])))
 		})
 		if err != nil {
 			return nil, err

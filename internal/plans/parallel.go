@@ -24,9 +24,10 @@ package plans
 
 import (
 	"context"
-	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"colarm/internal/pool"
 )
 
 // cancelPollStride is the cadence of the cancellation probes in the
@@ -43,46 +44,7 @@ const cancelPollStride = 16
 // discard partial output on error. The worker count returned is the
 // fan-out actually used, as with parallelFor.
 func parallelForCtx(ctx context.Context, n, workers int, fn func(i int)) (int, error) {
-	done := ctx.Done()
-	if done == nil {
-		return parallelFor(n, workers, fn), nil
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			select {
-			case <-done:
-				return 1, ctx.Err()
-			default:
-			}
-			fn(i)
-		}
-		return 1, nil
-	}
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-done:
-					return
-				default:
-				}
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	return workers, ctx.Err()
+	return pool.ForCtx(ctx, n, workers, fn)
 }
 
 // parallelFor runs fn(i) for every i in [0,n) across at most workers
@@ -93,32 +55,7 @@ func parallelForCtx(ctx context.Context, n, workers int, fn func(i int)) (int, e
 // It returns the number of goroutines actually used (1 for the serial
 // path), which query traces record as the operator's fan-out.
 func parallelFor(n, workers int, fn func(i int)) int {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return 1
-	}
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	return workers
+	return pool.For(n, workers, fn)
 }
 
 // counterTally accumulates the Stats counters workers touch; the sums
@@ -191,8 +128,5 @@ func fnv32a(s string) uint32 {
 // workers resolves the executor's worker-count knob: 0 (or negative)
 // means one worker per logical CPU, 1 forces the serial path.
 func (ex *Executor) workers() int {
-	if ex.Workers > 0 {
-		return ex.Workers
-	}
-	return runtime.GOMAXPROCS(0)
+	return pool.Workers(ex.Workers)
 }

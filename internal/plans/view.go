@@ -61,6 +61,11 @@ type View struct {
 	Boxes []itemset.Box
 	// Tidsets maps each item to its merged tidset.
 	Tidsets []*bitset.Set
+	// PrimaryCount is the support-count threshold the merged CFIs were
+	// mined at — a rebuild over the merged data would use exactly this
+	// count, so it is the view's applicability bound (see
+	// Executor.Applicable).
+	PrimaryCount int
 	// NumRecords is the record-id capacity: base records (including
 	// tombstoned ones, whose ids are never reused) plus buffered rows.
 	NumRecords int

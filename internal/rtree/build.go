@@ -34,11 +34,19 @@ func (p Packing) String() string {
 	}
 }
 
-// Bulk builds a packed R-tree from the given entries. cards gives the
-// per-dimension domain cardinalities (used to normalize Morton keys; STR
-// ignores it but validates dimensionality). fanout <= 0 selects
-// DefaultFanout. The entries slice is reordered in place.
+// Bulk builds a packed R-tree from the given entries under the default
+// FlatLayout. cards gives the per-dimension domain cardinalities (used
+// to normalize Morton keys; STR ignores it but validates
+// dimensionality). fanout <= 0 selects DefaultFanout. The entries slice
+// is reordered in place.
 func Bulk(entries []Entry, dims, fanout int, packing Packing, cards []int) (*Tree, error) {
+	return BulkLayout(entries, dims, fanout, packing, cards, FlatLayout)
+}
+
+// BulkLayout is Bulk with an explicit physical layout. Both layouts pack
+// the identical tree shape (same packing order, same per-node runs), so
+// traversal statistics and emission order are layout-independent.
+func BulkLayout(entries []Entry, dims, fanout int, packing Packing, cards []int, layout Layout) (*Tree, error) {
 	if dims < 1 {
 		return nil, fmt.Errorf("rtree: dimensionality %d < 1", dims)
 	}
@@ -64,6 +72,10 @@ func Bulk(entries []Entry, dims, fanout int, packing Packing, cards []int) (*Tre
 	}
 	t := &Tree{dims: dims, fanout: fanout, minFil: max(1, fanout*2/5), split: QuadraticSplit}
 	if len(entries) == 0 {
+		if layout == FlatLayout {
+			t.packFlat(nil)
+			return t, nil
+		}
 		t.root = &node{leaf: true, box: itemset.NewBox(dims)}
 		return t, nil
 	}
@@ -71,6 +83,10 @@ func Bulk(entries []Entry, dims, fanout int, packing Packing, cards []int) (*Tre
 		strSort(entries, dims, fanout, 0)
 	} else {
 		mortonSort(entries, cards)
+	}
+	if layout == FlatLayout {
+		t.packFlat(entries)
+		return t, nil
 	}
 
 	// Pack leaves.

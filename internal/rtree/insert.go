@@ -16,6 +16,10 @@ func (t *Tree) Insert(e Entry) error {
 	if e.Box.IsEmpty() {
 		return fmt.Errorf("rtree: refusing to insert empty box")
 	}
+	if t.flat {
+		t.insertFlat(e)
+		return nil
+	}
 	l := t.chooseLeaf(t.root, e, nil)
 	leaf := l.path[len(l.path)-1]
 	leaf.entries = append(leaf.entries, e)
@@ -129,12 +133,14 @@ func dimsOf(n *node) int {
 }
 
 // member abstracts leaf entries and interior children so one split
-// implementation serves both.
+// implementation serves both layouts: child carries a pointer-layout
+// node, childIdx a flat-layout slab index.
 type member struct {
-	box     itemset.Box
-	entry   Entry
-	child   *node
-	isChild bool
+	box      itemset.Box
+	entry    Entry
+	child    *node
+	childIdx int32
+	isChild  bool
 }
 
 func (t *Tree) members(n *node) []member {
@@ -156,7 +162,13 @@ func (t *Tree) members(n *node) []member {
 // algorithm and returns the two halves (the first reuses n's identity
 // semantics but is a fresh node).
 func (t *Tree) splitNode(n *node) (*node, *node) {
-	ms := t.members(n)
+	ga, gb := t.partitionMembers(t.members(n))
+	return ga.toNode(n.leaf), gb.toNode(n.leaf)
+}
+
+// partitionMembers runs Guttman's seed selection and distribution over
+// the members of an overfull node; shared by both layouts.
+func (t *Tree) partitionMembers(ms []member) (*group, *group) {
 	var seedA, seedB int
 	if t.split == LinearSplit {
 		seedA, seedB = linearSeeds(ms, t.dims)
@@ -217,7 +229,7 @@ func (t *Tree) splitNode(n *node) (*node, *node) {
 			gb.add(m)
 		}
 	}
-	return ga.toNode(n.leaf), gb.toNode(n.leaf)
+	return ga, gb
 }
 
 type group struct {

@@ -36,8 +36,31 @@ type node struct {
 	entries    []Entry
 }
 
+// Layout selects the physical organization of a Tree.
+type Layout int
+
+const (
+	// FlatLayout packs nodes into contiguous slabs (see flat.go); the
+	// production layout for bulk-built trees.
+	FlatLayout Layout = iota
+	// PointerLayout stores one heap node per tree node; the
+	// legacy/differential layout, and the layout of New() dynamic trees.
+	PointerLayout
+)
+
+func (l Layout) String() string {
+	switch l {
+	case FlatLayout:
+		return "flat"
+	case PointerLayout:
+		return "pointer"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
 // Tree is an n-dimensional R-tree. The zero value is not usable; create
-// trees with Bulk, BulkMorton or New.
+// trees with Bulk, BulkLayout or New.
 type Tree struct {
 	root   *node
 	dims   int
@@ -45,6 +68,25 @@ type Tree struct {
 	minFil int
 	size   int
 	split  SplitAlgorithm
+
+	// Flat slab layout (see flat.go). When flat is true, root is nil and
+	// the tree lives in the arenas below.
+	flat     bool
+	froot    int32
+	fnodes   []fnode
+	nboxes   []int32 // per-node boxes: dims Lo then dims Hi at i*2*dims
+	kidArena []int32 // interior child-index runs
+	entBoxes []int32 // per-entry boxes, same inline layout as nboxes
+	entIDs   []int32
+	entSups  []int32
+}
+
+// Layout reports the tree's physical layout.
+func (t *Tree) Layout() Layout {
+	if t.flat {
+		return FlatLayout
+	}
+	return PointerLayout
 }
 
 // SplitAlgorithm selects the node split used by dynamic insertion.
@@ -102,6 +144,9 @@ func (t *Tree) Fanout() int { return t.fanout }
 // an empty tree with no entries but a leaf root — we report 1 there too
 // to keep cost formulae simple).
 func (t *Tree) Height() int {
+	if t.flat {
+		return t.heightFlat()
+	}
 	h := 1
 	for n := t.root; !n.leaf; n = n.children[0] {
 		h++
@@ -126,6 +171,10 @@ type Visit func(e Entry, rel itemset.Rel) bool
 // implements the paper's SEARCH operator.
 func (t *Tree) Search(reg *itemset.Region, visit Visit) SearchStats {
 	var st SearchStats
+	if t.flat {
+		t.searchFlat(t.froot, reg, false, -1, visit, &st)
+		return st
+	}
 	t.search(t.root, reg, false, -1, visit, &st)
 	return st
 }
@@ -135,6 +184,10 @@ func (t *Tree) Search(reg *itemset.Region, visit Visit) SearchStats {
 // the supported R-tree. minCount is an absolute record count.
 func (t *Tree) SupportedSearch(reg *itemset.Region, minCount int, visit Visit) SearchStats {
 	var st SearchStats
+	if t.flat {
+		t.searchFlat(t.froot, reg, false, int32(minCount), visit, &st)
+		return st
+	}
 	t.search(t.root, reg, false, int32(minCount), visit, &st)
 	return st
 }
@@ -188,6 +241,10 @@ func (t *Tree) search(n *node, reg *itemset.Region, containedAbove bool, minCoun
 // plain geometric search used by tests and tools.
 func (t *Tree) SearchBox(q itemset.Box, visit func(e Entry) bool) SearchStats {
 	var st SearchStats
+	if t.flat {
+		t.searchBoxFlat(t.froot, q, visit, &st)
+		return st
+	}
 	t.searchBox(t.root, q, visit, &st)
 	return st
 }
@@ -218,6 +275,10 @@ func (t *Tree) searchBox(n *node, q itemset.Box, visit func(e Entry) bool, st *S
 
 // All visits every entry in the tree.
 func (t *Tree) All(visit func(e Entry) bool) {
+	if t.flat {
+		t.allFlat(t.froot, visit)
+		return
+	}
 	var walk func(n *node) bool
 	walk = func(n *node) bool {
 		if n.leaf {
@@ -242,6 +303,9 @@ func (t *Tree) All(visit func(e Entry) bool) {
 // max-support aggregates are correct, leaf depth is uniform, and node
 // occupancy respects the fanout. Violations indicate construction bugs.
 func (t *Tree) Validate() error {
+	if t.flat {
+		return t.validateFlat()
+	}
 	leafDepth := -1
 	var walk func(n *node, depth int) (itemset.Box, int32, error)
 	walk = func(n *node, depth int) (itemset.Box, int32, error) {

@@ -1,8 +1,6 @@
 package shard
 
 import (
-	"fmt"
-
 	"sync"
 
 	"colarm/internal/bitset"
@@ -13,6 +11,7 @@ import (
 	"colarm/internal/ittree"
 	"colarm/internal/mip"
 	"colarm/internal/plans"
+	"colarm/internal/pool"
 	"colarm/internal/relation"
 )
 
@@ -40,8 +39,15 @@ type Config struct {
 	Primary float64
 	// Units are the engine's calibrated cost units (delta refresh policy).
 	Units cost.Units
-	// MIP carries the index build options used at consolidation.
+	// MIP carries the index build options used at consolidation and for
+	// the per-shard physical indexes (layout, fanout, packing).
 	MIP mip.Options
+	// Workers bounds the fan-out of the collection's parallel sections —
+	// partition restriction, per-shard mining + indexing, global box
+	// computation: 0 means one worker per CPU, 1 forces serial. Every
+	// parallel section writes pre-indexed slots, so results are
+	// worker-count-invariant.
+	Workers int
 }
 
 // ShardStat is one shard's slice of the engine's staleness surface,
@@ -61,6 +67,13 @@ type ShardStat struct {
 	// touches the shard, so an untouched shard keeps serving its cached
 	// per-shard mining across consolidations of its siblings.
 	Version uint64 `json:"version"`
+	// IndexedCFIs counts the local CFIs of the shard's cached physical
+	// index; 0 when the shard has never been indexed (no scatter-mode
+	// view or consolidation touched it yet).
+	IndexedCFIs int `json:"indexed_cfis"`
+	// IndexBuildNanos is the wall-clock cost of the last physical index
+	// build for this shard (mining + IT-tree + boxes + R-tree).
+	IndexBuildNanos int64 `json:"index_build_nanos"`
 }
 
 // Collection partitions one engine's records into K hash-routed shards
@@ -78,6 +91,7 @@ type Collection struct {
 	primary float64
 	catalog CatalogMode
 	mipOpts mip.Options
+	workers int
 
 	mu         sync.Mutex
 	appended   int      // rows routed so far; derives buffered record ids
@@ -88,18 +102,20 @@ type Collection struct {
 	// (the store already caches one view per delta version).
 	viewSrc *plans.View
 	viewDec *plans.View
-	mines   []shardMine // per-shard threshold-1 mining cache
-}
 
-// shardMine caches one shard's threshold-1 closed sets, keyed by the
-// shard's version clock and the frequent-item universe it was mined
-// over. A clean shard (version unchanged) reuses its mining across
-// sibling ingests and consolidations — the "rebuild one shard while the
-// others serve" half of the sharded refresh story.
-type shardMine struct {
-	version uint64
-	ukey    string
-	res     *charm.Result
+	// indexes caches each shard's physical MIP-index, keyed by the
+	// shard's version clock and the frequent-item universe it was built
+	// over. A clean shard (version unchanged) reuses its mining AND its
+	// physical layers across sibling ingests and consolidations — the
+	// "rebuild one shard while the others serve" half of the sharded
+	// refresh story, now covering the index build too.
+	indexes []*ShardIndex
+
+	// onRebuild, when set, fires under the collection lock after a
+	// shard's physical index is (re)built, with the shard number and
+	// the build's wall-clock nanoseconds. The serving layer wires it to
+	// the /metrics rebuild counters and build-duration histogram.
+	onRebuild func(shard int, buildNanos int64)
 }
 
 // New builds a collection over a freshly built or loaded index,
@@ -113,9 +129,14 @@ func New(idx *mip.Index, cfg Config) *Collection {
 		primary:  cfg.Primary,
 		catalog:  cfg.Catalog,
 		mipOpts:  cfg.MIP,
+		workers:  cfg.Workers,
 		versions: make([]uint64, r.Shards()),
-		mines:    make([]shardMine, r.Shards()),
+		indexes:  make([]*ShardIndex, r.Shards()),
 	}
+	if c.mipOpts.Workers == 0 {
+		c.mipOpts.Workers = cfg.Workers
+	}
+	c.store.SetWorkers(cfg.Workers)
 	n := idx.Dataset.NumRecords()
 	live := idx.Live
 	if live == nil {
@@ -199,11 +220,13 @@ func (c *Collection) View() *plans.View {
 			minCount = 1
 		}
 		res := c.mergedCatalogLocked(v.Slices, sv.Tidsets, sv.NumRecords, minCount)
-		v.Tree = ittree.Build(res, c.idx.Space.NumItems())
+		v.Tree = ittree.BuildLayout(res, c.idx.Space.NumItems(), c.mipOpts.Layout.ITTreeLayout())
 		v.Boxes = make([]itemset.Box, len(res.Closed))
-		for id, cl := range res.Closed {
-			v.Boxes[id] = mip.BoundingBox(c.idx.Space, c.idx.Cards, sv.Tidsets, cl)
-		}
+		closed := res.Closed
+		// Merged boxes are independent reads into pre-indexed slots.
+		pool.For(len(closed), pool.Workers(c.workers), func(id int) {
+			v.Boxes[id] = mip.BoundingBox(c.idx.Space, c.idx.Cards, sv.Tidsets, closed[id])
+		})
 	}
 	c.viewSrc, c.viewDec = sv, &v
 	return c.viewDec
@@ -225,9 +248,10 @@ func (c *Collection) scatterCatalog() bool {
 }
 
 // mergedCatalogLocked computes the merged closed-itemset catalog via
-// the cross-shard closure merge. Per-shard minings are cached on the
-// shard clocks: only shards an ingest touched since the last call are
-// re-mined.
+// the cross-shard closure merge. Per-shard physical indexes (mining +
+// IT-tree + boxes + R-tree) are cached on the shard clocks: only shards
+// an ingest touched since the last call are re-mined and re-indexed,
+// and the drifted shards rebuild in parallel through the worker pool.
 func (c *Collection) mergedCatalogLocked(slices []plans.ShardSlice, tidsets []*bitset.Set, capN, minCount int) *charm.Result {
 	// Universe of globally frequent items; per-shard mining restricts
 	// to it (nil tidsets are skipped by the miner).
@@ -243,26 +267,50 @@ func (c *Collection) mergedCatalogLocked(slices []plans.ShardSlice, tidsets []*b
 		inU[it] = true
 	}
 	per := make([]*charm.Result, len(slices))
-	for s, sl := range slices {
-		if m := c.mines[s]; m.res != nil && m.version == c.versions[s] && m.ukey == ukey {
-			per[s] = m.res
+	rebuilt := make([]*ShardIndex, len(slices)) // nil where the cache held
+	pool.For(len(slices), pool.Workers(c.workers), func(s int) {
+		if si := c.indexes[s]; si != nil && si.Version == c.versions[s] && si.UKey == ukey {
+			per[s] = si.Mine
+			return
+		}
+		si := buildShardIndex(s, c.versions[s], ukey, slices[s], inU, capN,
+			c.idx.Space, c.idx.Cards, c.mipOpts.Fanout, c.mipOpts.Packing, c.mipOpts.Layout)
+		rebuilt[s] = si
+		per[s] = si.Mine
+	})
+	// Publish the rebuilt indexes and fire the metrics hook serially,
+	// under the already-held collection lock.
+	for s, si := range rebuilt {
+		if si == nil {
 			continue
 		}
-		tids := make([]*bitset.Set, len(sl.Items))
-		for i, t := range sl.Items {
-			if t != nil && inU[i] {
-				tids[i] = t
-			}
+		c.indexes[s] = si
+		if c.onRebuild != nil {
+			c.onRebuild(s, si.BuildNanos)
 		}
-		res, err := charm.MineTidsets(tids, capN, 1)
-		if err != nil {
-			// Unreachable: minCount 1 is the only error path.
-			panic(fmt.Sprintf("shard: per-shard mining failed: %v", err))
-		}
-		per[s] = res
-		c.mines[s] = shardMine{version: c.versions[s], ukey: ukey, res: res}
 	}
 	return MergeClosed(per, tidsets, capN, minCount)
+}
+
+// SetRebuildHook installs fn, fired with the shard number and build
+// duration whenever a shard's physical index is (re)built. Install
+// before the first ingest; the hook runs under the collection lock and
+// must not call back into the collection.
+func (c *Collection) SetRebuildHook(fn func(shard int, buildNanos int64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onRebuild = fn
+}
+
+// Indexes returns the per-shard physical indexes currently cached (nil
+// entries for shards never built). The slice is a copy; the indexes
+// themselves are immutable once published.
+func (c *Collection) Indexes() []*ShardIndex {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*ShardIndex, len(c.indexes))
+	copy(out, c.indexes)
+	return out
 }
 
 // partition splits the live records across the shards and restricts the
@@ -277,7 +325,10 @@ func (c *Collection) partition(live *bitset.Set, tidsets []*bitset.Set, capN int
 		sl[c.router.Of(r)].Records.Add(r)
 		return true
 	})
-	for s := range sl {
+	// Restricting the per-item tidsets to each slice dominates the
+	// partition cost and is independent per shard: workers intersect
+	// immutable tidsets and write their own slice only.
+	pool.For(k, pool.Workers(c.workers), func(s int) {
 		sl[s].Records.Optimize()
 		items := make([]*bitset.Set, len(tidsets))
 		for i, t := range tidsets {
@@ -289,7 +340,7 @@ func (c *Collection) partition(live *bitset.Set, tidsets []*bitset.Set, capN int
 			items[i] = x
 		}
 		sl[s].Items = items
-	}
+	})
 	return sl
 }
 
@@ -307,6 +358,10 @@ func (c *Collection) ShardStats() []ShardStat {
 			Shard:   s,
 			Records: c.baseSlices[s].Records.Count(),
 			Version: c.versions[s],
+		}
+		if si := c.indexes[s]; si != nil {
+			stats[s].IndexedCFIs = si.Tree.Size()
+			stats[s].IndexBuildNanos = si.BuildNanos
 		}
 	}
 	for i := range rows {

@@ -1,0 +1,135 @@
+package colarm
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"colarm/internal/datagen"
+)
+
+// TestLayoutDifferential checks that the physical layout of the
+// MIP-index is unobservable: for the monolith and K in {2, 3, 7}, a
+// flat (arena-packed) engine and a pointer-layout engine must return
+// byte-identical rules AND statistics on every plan (all six forced
+// plus the optimizer's choice) over randomized datasets — fresh, with a
+// live delta, after a rebuild/consolidation, and after post-rebuild
+// ingestion. Both engines must also serialize to byte-identical
+// snapshots: the layout is a physical choice, never logical state.
+func TestLayoutDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260809))
+	totalRules := 0
+	for _, k := range []int{0, 2, 3, 7} {
+		totalRules += runLayoutDifferential(t, rng, k)
+	}
+	if totalRules == 0 {
+		t.Fatal("no layout trial produced any rules; the differential comparison is vacuous")
+	}
+}
+
+func runLayoutDifferential(t *testing.T, rng *rand.Rand, k int) int {
+	t.Helper()
+	cfg := randomDiffConfig(rng, 200+k)
+	d, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatalf("K=%d: generate: %v", k, err)
+	}
+	ds := &Dataset{rel: d}
+	primary := 0.15 + 0.2*rng.Float64()
+	open := func(layout string) *Engine {
+		e, err := Open(ds, Options{PrimarySupport: primary, Workers: 4, Shards: k, Layout: layout})
+		if err != nil {
+			t.Fatalf("K=%d: open %s: %v", k, layout, err)
+		}
+		return e
+	}
+	flat, ptr := open("flat"), open("pointer")
+
+	queries := make([]Query, 2)
+	for i := range queries {
+		queries[i] = randomDiffQuery(rng, ds)
+	}
+	allPlans := []Plan{SEV, SVS, SSEV, SSVS, SSEUV, ARM, Auto}
+
+	totalRules := 0
+	compare := func(stage string) {
+		t.Helper()
+		for qi, q := range queries {
+			for _, plan := range allPlans {
+				pq := q
+				pq.Plan = plan
+				label := fmt.Sprintf("K=%d %s query %d plan %s", k, stage, qi, plan)
+				resF, err := flat.Mine(pq)
+				if err != nil {
+					t.Fatalf("%s: flat: %v", label, err)
+				}
+				resP, err := ptr.Mine(pq)
+				if err != nil {
+					t.Fatalf("%s: pointer: %v", label, err)
+				}
+				if !reflect.DeepEqual(resF.Rules, resP.Rules) {
+					t.Fatalf("%s: layouts disagree on rules\nflat:    %v\npointer: %v",
+						label, resF.Rules, resP.Rules)
+				}
+				sf, sp := resF.Stats, resP.Stats
+				sf.DurationNanos, sp.DurationNanos = 0, 0
+				if sf != sp {
+					// Both layouts pack the identical R-tree shape, so
+					// even traversal counters must match.
+					t.Fatalf("%s: layouts disagree on stats\nflat:    %+v\npointer: %+v",
+						label, sf, sp)
+				}
+				totalRules += len(resF.Rules)
+			}
+		}
+	}
+
+	compare("fresh")
+
+	ins, dels := randomIngestBatch(rng, ds, d.NumRecords(), true)
+	for name, e := range map[string]*Engine{"flat": flat, "pointer": ptr} {
+		if _, err := e.Ingest(ins, dels); err != nil {
+			t.Fatalf("K=%d: ingest into %s: %v", k, name, err)
+		}
+	}
+	compare("delta")
+
+	ctx := context.Background()
+	flat2, err := flat.Rebuild(ctx)
+	if err != nil {
+		t.Fatalf("K=%d: rebuild flat: %v", k, err)
+	}
+	ptr2, err := ptr.Rebuild(ctx)
+	if err != nil {
+		t.Fatalf("K=%d: rebuild pointer: %v", k, err)
+	}
+	flat, ptr = flat2, ptr2
+	compare("rebuilt")
+
+	// The snapshot carries logical state only; a flat engine and a
+	// pointer engine over the same data must write identical bytes.
+	var bufF, bufP bytes.Buffer
+	if err := flat.Save(&bufF); err != nil {
+		t.Fatalf("K=%d: save flat: %v", k, err)
+	}
+	if err := ptr.Save(&bufP); err != nil {
+		t.Fatalf("K=%d: save pointer: %v", k, err)
+	}
+	if !bytes.Equal(bufF.Bytes(), bufP.Bytes()) {
+		t.Fatalf("K=%d: snapshot bytes differ between layouts (%d vs %d bytes)",
+			k, bufF.Len(), bufP.Len())
+	}
+
+	ins2, _ := randomIngestBatch(rng, ds, 0, false)
+	for name, e := range map[string]*Engine{"flat": flat, "pointer": ptr} {
+		if _, err := e.Ingest(ins2, nil); err != nil {
+			t.Fatalf("K=%d: post-rebuild ingest into %s: %v", k, name, err)
+		}
+	}
+	compare("post-rebuild delta")
+
+	return totalRules
+}

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate the committed perf-trajectory artifacts (BENCH_<pr>.json).
+
+Three checks, all against files committed to the repository — the script
+never runs a benchmark itself:
+
+ 1. every artifact is well-formed and carries the fields its bench kind
+    promises (tidset rows, shards rows, or the index report's kernel and
+    consolidation sections);
+ 2. inside every "index" report the flat layout must win (or tie) each
+    physical kernel it is benchmarked on against the pointer layout —
+    the flat slabs exist for speed, so a committed artifact showing the
+    pointer layout ahead is a regression by definition;
+ 3. consolidation pauses must not regress across PRs: for each shard
+    count reported by both the newest artifact carrying pauses and the
+    most recent earlier one, the new pause may exceed the old by at most
+    REGRESSION_SLACK (these are single-shot wall-clock measurements, so
+    a noise allowance is deliberate).
+
+Exit status is nonzero on the first failed check, so CI can gate on it.
+"""
+
+import glob
+import json
+import os
+import re
+import sys
+
+REGRESSION_SLACK = 0.20  # fraction a pause may grow PR-over-PR
+
+KERNEL_SECTIONS = ("closure", "lookup", "rtree_probe")
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}")
+    sys.exit(1)
+
+
+def load_artifacts(root):
+    arts = []
+    for path in glob.glob(os.path.join(root, "BENCH_*.json")):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+        if not m:
+            fail(f"{path}: name does not match BENCH_<pr>.json")
+        try:
+            with open(path) as f:
+                rep = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: invalid JSON: {e}")
+        if rep.get("pr") != int(m.group(1)):
+            fail(f"{path}: pr field {rep.get('pr')!r} disagrees with file name")
+        if "bench" not in rep:
+            fail(f"{path}: missing bench kind")
+        arts.append((int(m.group(1)), os.path.basename(path), rep))
+    if not arts:
+        fail("no BENCH_*.json artifacts found")
+    arts.sort()
+    return arts
+
+
+def validate_shape(name, rep):
+    kind = rep["bench"]
+    if kind == "tidset":
+        if not rep.get("rows"):
+            fail(f"{name}: tidset report has no rows")
+    elif kind == "shards":
+        rows = rep.get("rows")
+        if not rows:
+            fail(f"{name}: shards report has no rows")
+        for row in rows:
+            if "shards" not in row or "rebuild_pause_ns" not in row:
+                fail(f"{name}: shards row missing shards/rebuild_pause_ns: {row}")
+    elif kind == "index":
+        for sec in KERNEL_SECTIONS:
+            rows = rep.get(sec)
+            if not rows:
+                fail(f"{name}: index report has no {sec} rows")
+            layouts = {r.get("layout") for r in rows}
+            if not {"flat", "pointer"} <= layouts:
+                fail(f"{name}: {sec} must measure both layouts, got {sorted(layouts)}")
+        if not rep.get("consolidation"):
+            fail(f"{name}: index report has no consolidation rows")
+        if not rep.get("shard_index_build"):
+            fail(f"{name}: index report has no shard_index_build rows")
+    else:
+        fail(f"{name}: unknown bench kind {kind!r}")
+
+
+def kernel_ns(rep, section, layout):
+    for row in rep[section]:
+        if row["layout"] == layout:
+            return row["ns_per_op"]
+    return None
+
+
+def check_flat_wins(name, rep):
+    for sec in KERNEL_SECTIONS:
+        flat = kernel_ns(rep, sec, "flat")
+        ptr = kernel_ns(rep, sec, "pointer")
+        if flat > ptr:
+            fail(f"{name}: {sec}: flat layout ({flat:.1f} ns/op) is slower than "
+                 f"pointer ({ptr:.1f} ns/op)")
+        print(f"check_bench: {name}: {sec}: flat {flat:.1f} <= pointer {ptr:.1f} ns/op")
+
+
+def pauses_of(rep):
+    """shard count -> rebuild pause, for any report kind that has them."""
+    if rep["bench"] == "shards":
+        return {r["shards"]: r["rebuild_pause_ns"] for r in rep["rows"]}
+    if rep["bench"] == "index":
+        return {r["shards"]: r["rebuild_pause_ns"] for r in rep["consolidation"]}
+    return {}
+
+
+def check_pause_trajectory(arts):
+    with_pauses = [(pr, name, pauses_of(rep)) for pr, name, rep in arts if pauses_of(rep)]
+    if len(with_pauses) < 2:
+        print("check_bench: fewer than two artifacts report consolidation pauses; "
+              "trajectory check skipped")
+        return
+    (_, prev_name, prev), (_, cur_name, cur) = with_pauses[-2], with_pauses[-1]
+    shared = sorted(set(prev) & set(cur))
+    if not shared:
+        fail(f"{cur_name} and {prev_name} share no shard counts; the pause "
+             f"trajectory is unverifiable")
+    for k in shared:
+        limit = prev[k] * (1 + REGRESSION_SLACK)
+        if cur[k] > limit:
+            fail(f"{cur_name}: K={k} consolidation pause {cur[k]} ns regressed "
+                 f">{REGRESSION_SLACK:.0%} over {prev_name} ({prev[k]} ns)")
+        print(f"check_bench: K={k}: {cur_name} pause {cur[k]} ns vs "
+              f"{prev_name} {prev[k]} ns (limit {limit:.0f})")
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..")
+    arts = load_artifacts(root)
+    for _, name, rep in arts:
+        validate_shape(name, rep)
+        if rep["bench"] == "index":
+            check_flat_wins(name, rep)
+    check_pause_trajectory(arts)
+    print(f"check_bench: OK ({len(arts)} artifacts)")
+
+
+if __name__ == "__main__":
+    main()
