@@ -1,4 +1,4 @@
-package colarm
+package colarm_test
 
 // Benchmarks regenerating the paper's evaluation artifacts (see
 // DESIGN.md §5 for the experiment index and EXPERIMENTS.md for the
@@ -19,11 +19,13 @@ package colarm
 // configuration.
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
 
+	"colarm"
 	"colarm/internal/bench"
 	"colarm/internal/charm"
 	"colarm/internal/datagen"
@@ -163,11 +165,17 @@ func BenchmarkIndexBuild(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			var ds Dataset
-			_ = ds
+			var buf bytes.Buffer
+			if err := d.WriteCSV(&buf); err != nil {
+				b.Fatal(err)
+			}
+			ds, err := colarm.ReadCSV(name, bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				env, err := Open(&Dataset{rel: d}, Options{PrimarySupport: spec.Primary})
+				env, err := colarm.Open(ds, colarm.Options{PrimarySupport: spec.Primary})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -288,15 +296,15 @@ func BenchmarkCheckMode(b *testing.B) {
 // baseline the instrumentation must not slow down; "traced" shows the
 // per-query cost of span recording.
 func BenchmarkMine(b *testing.B) {
-	ds, err := Salary()
+	ds, err := colarm.Salary()
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng, err := Open(ds, Options{PrimarySupport: 0.18})
+	eng, err := colarm.Open(ds, colarm.Options{PrimarySupport: 0.18})
 	if err != nil {
 		b.Fatal(err)
 	}
-	q := Query{
+	q := colarm.Query{
 		Range:          map[string][]string{"Location": {"Seattle"}, "Gender": {"F"}},
 		ItemAttributes: []string{"Age", "Salary"},
 		MinSupport:     0.70,

@@ -56,6 +56,16 @@
 //	-shards           run the scatter-gather benchmark
 //	-shard-counts L   comma-separated shard counts (default 1,2,4,8)
 //
+// -standing runs the standing-query benchmark: S standing queries are
+// registered over one dataset while a writer streams ingest batches
+// through it, measuring ingest-to-notify latency at the subscribers
+// and the per-diff incremental cost against the naive baseline of one
+// full re-mine per subscription per batch:
+//
+//	-standing           run the standing-query benchmark
+//	-standing-subs L    comma-separated subscription counts (default 1,4,16)
+//	-standing-dataset D dataset: "salary" or "mushroom" (default mushroom)
+//
 // Observability flags:
 //
 //	-metrics ADDR       serve engine metrics (Prometheus text format) at
@@ -115,12 +125,22 @@ func main() {
 		tidsetIter = flag.Int("tidset-iters", 5, "timing iterations per kernel for -tidset (minimum is reported)")
 		shards     = flag.Bool("shards", false, "run the scatter-gather benchmark (shard count vs latency vs rebuild pause)")
 		shardKs    = flag.String("shard-counts", "1,2,4,8", "comma-separated shard counts for -shards")
+		standing   = flag.Bool("standing", false, "run the standing-query benchmark (ingest-to-notify latency, diff vs full re-mine)")
+		standSubs  = flag.String("standing-subs", "1,4,16", "comma-separated subscription counts for -standing")
+		standData  = flag.String("standing-dataset", "mushroom", `dataset for -standing ("salary" or "mushroom")`)
 		index      = flag.Bool("index", false, "run the MIP-index physical-layer benchmark (flat vs pointer layout)")
 		indexProbe = flag.Int("index-probes", 4096, "probe operations per kernel for -index")
 		indexIters = flag.Int("index-iters", 5, "timing rounds per kernel for -index (minimum is reported)")
 		benchOut   = flag.String("bench-out", "", "write the -tidset, -shards or -index report as JSON to this file (e.g. BENCH_8.json)")
 	)
 	flag.Parse()
+	if *standing {
+		if err := runStanding(*standData, *standSubs, *batches, *batchRows, *seed, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "colarm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *index {
 		if err := runIndex(*shardKs, *full, *indexProbe, *indexIters, *batches, *batchRows, *seed, *benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "colarm-bench:", err)
@@ -147,6 +167,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "colarm-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runStanding runs the standing-query benchmark (ingest-to-notify
+// latency and per-diff cost against the full re-mine baseline) and
+// optionally persists the JSON report (BENCH_<pr>.json).
+func runStanding(dataset, counts string, batches, batchRows int, seed int64, out string) error {
+	subs, err := parseCounts(counts)
+	if err != nil {
+		return err
+	}
+	rep, err := bench.RunStanding(dataset, subs, batches, batchRows, seed)
+	if err != nil {
+		return err
+	}
+	bench.PrintStanding(os.Stdout, rep)
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", out)
+	return nil
 }
 
 // runTidset runs the dense-vs-hybrid tidset benchmark and optionally

@@ -31,15 +31,26 @@
 //	-cache-entries N  result-cache capacity (default 4096, -1 disables)
 //	-cache-ttl D      result-cache entry lifetime (default 5m)
 //
+//	-max-subscriptions N  standing-query subscriptions served at once
+//	                      (default 1024)
+//	-sub-buffer N         buffered events per subscription before a slow
+//	                      consumer is evicted (default 256)
+//	-sse-heartbeat D      idle-stream SSE heartbeat interval (default 15s)
+//
 // Endpoints: POST /v1/mine, POST /v1/explain, POST /v1/ingest,
-// GET /v1/datasets, GET /metrics, GET /debug/pprof/. Ingested
-// transactions are buffered in each engine's delta store and merged
-// into every subsequent answer (queries stay exact while the index
-// ages); when the accumulated delta overhead crosses the rebuild cost,
-// the server rebuilds the index in the background and swaps it in,
-// bumping the dataset's generation. Wrong-method requests on /v1
-// routes get a JSON 405 with an Allow header. See the README's Serving
-// and Ingestion sections for request examples.
+// GET /v1/datasets, GET /v1/datasets/{name}, POST/GET /v1/subscriptions,
+// GET/DELETE /v1/subscriptions/{id}, GET /v1/subscriptions/{id}/events
+// (SSE or long-poll), GET /metrics, GET /debug/pprof/. The full surface
+// is documented in api/openapi.yaml. Ingested transactions are buffered
+// in each engine's delta store and merged into every subsequent answer
+// (queries stay exact while the index ages); when the accumulated delta
+// overhead crosses the rebuild cost, the server rebuilds the index in
+// the background and swaps it in, bumping the dataset's generation.
+// Standing subscriptions receive incremental rule diffs as batches
+// land. Wrong-method requests on /v1 routes get a JSON 405 with an
+// Allow header; every error response carries the structured envelope.
+// See the README's Serving, Ingestion and Standing queries sections for
+// request examples.
 package main
 
 import (
@@ -81,6 +92,10 @@ func main() {
 		queryTimeout = flag.Duration("query-timeout", 0, "per-query deadline (0 = default 30s, negative disables)")
 		cacheEntries = flag.Int("cache-entries", 0, "result-cache capacity (0 = default 4096, negative disables)")
 		cacheTTL     = flag.Duration("cache-ttl", 0, "result-cache entry lifetime (0 = default 5m)")
+
+		maxSubs      = flag.Int("max-subscriptions", 0, "standing-query subscriptions served at once (0 = default 1024)")
+		subBuffer    = flag.Int("sub-buffer", 0, "buffered events per subscription before slow-consumer eviction (0 = default 256)")
+		sseHeartbeat = flag.Duration("sse-heartbeat", 0, "idle-stream SSE heartbeat interval (0 = default 15s)")
 	)
 	var snapshots, csvs listFlag
 	flag.Var(&snapshots, "snapshot", "name=path of an index snapshot to load (repeatable)")
@@ -94,6 +109,10 @@ func main() {
 		QueryTimeout: *queryTimeout,
 		CacheEntries: *cacheEntries,
 		CacheTTL:     *cacheTTL,
+
+		MaxSubscriptions:   *maxSubs,
+		SubscriptionBuffer: *subBuffer,
+		SSEHeartbeat:       *sseHeartbeat,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "colarm-serve:", err)
 		os.Exit(1)

@@ -1,0 +1,346 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"colarm"
+	"colarm/internal/obs"
+	"colarm/internal/standing"
+)
+
+// StandingRow is one subscription-count configuration of the standing
+// query benchmark: S standing queries watching one dataset while a
+// writer streams delta batches into it.
+type StandingRow struct {
+	Subscriptions int `json:"subscriptions"`
+	Batches       int `json:"batches"`
+	BatchRows     int `json:"batch_rows"`
+
+	// Events is the number of diff events delivered to consumers;
+	// DiffsComputed / DiffsSkipped split the per-(tracker, batch)
+	// decisions of the affectedness gate. BaselineRemines is the work a
+	// naive standing-query engine would do instead: one full re-mine
+	// per subscription per batch.
+	Events          int   `json:"events"`
+	DiffsComputed   int64 `json:"diffs_computed"`
+	DiffsSkipped    int64 `json:"diffs_skipped"`
+	BaselineRemines int   `json:"baseline_remines"`
+
+	// NotifyP50Ns/NotifyP99Ns measure ingest-to-notify latency: from
+	// the Ingest call that produced a version to the moment a consumer
+	// goroutine received the diff event covering that version.
+	NotifyP50Ns int64 `json:"notify_p50_ns"`
+	NotifyP99Ns int64 `json:"notify_p99_ns"`
+
+	// DiffP50Ns is the steady-state cost of one incremental RuleDiff
+	// (merged-view mine + set diff against the previous rules);
+	// RemineP50Ns is the full re-mine baseline for the same queries.
+	DiffP50Ns   int64 `json:"diff_p50_ns"`
+	RemineP50Ns int64 `json:"remine_p50_ns"`
+}
+
+// StandingReport is the JSON perf-trajectory artifact of the standing
+// query benchmark (bench kind "standing" in BENCH_<pr>.json).
+type StandingReport struct {
+	Bench     string        `json:"bench"`
+	PR        int           `json:"pr"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	CPUs      int           `json:"cpus"`
+	Dataset   string        `json:"dataset"`
+	Records   int           `json:"records"`
+	Rows      []StandingRow `json:"rows"`
+}
+
+// WriteJSON writes the report in the BENCH_<pr>.json artifact format.
+func (r *StandingReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// standingQuery builds a random localized query: a focal region over
+// two attributes (roughly half of each domain) with the remaining
+// attributes as item attributes.
+func standingQuery(ds *colarm.Dataset, rng *rand.Rand, minSupp, minConf float64) (colarm.Query, error) {
+	attrs := ds.Attributes()
+	if len(attrs) < 3 {
+		return colarm.Query{}, fmt.Errorf("dataset %s: need at least 3 attributes", ds.Name())
+	}
+	perm := rng.Perm(len(attrs))
+	focal := []string{attrs[perm[0]], attrs[perm[1]]}
+	q := colarm.Query{
+		Range:         map[string][]string{},
+		MinSupport:    minSupp,
+		MinConfidence: minConf,
+	}
+	for _, a := range focal {
+		vals, err := ds.Values(a)
+		if err != nil {
+			return colarm.Query{}, err
+		}
+		k := (len(vals) + 1) / 2
+		vperm := rng.Perm(len(vals))
+		sel := make([]string, 0, k)
+		for _, i := range vperm[:k] {
+			sel = append(sel, vals[i])
+		}
+		sort.Strings(sel)
+		q.Range[a] = sel
+	}
+	for _, i := range perm[2:] {
+		q.ItemAttributes = append(q.ItemAttributes, attrs[i])
+	}
+	sort.Strings(q.ItemAttributes)
+	return q, nil
+}
+
+// randomRows draws batchRows uniform random records from the dataset's
+// attribute domains.
+func randomRows(ds *colarm.Dataset, rng *rand.Rand, n int) ([]map[string]string, error) {
+	attrs := ds.Attributes()
+	domains := make(map[string][]string, len(attrs))
+	for _, a := range attrs {
+		vals, err := ds.Values(a)
+		if err != nil {
+			return nil, err
+		}
+		domains[a] = vals
+	}
+	rows := make([]map[string]string, n)
+	for i := range rows {
+		row := make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			vals := domains[a]
+			row[a] = vals[rng.Intn(len(vals))]
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// standingDataset builds the benchmark dataset with its default
+// primary support and the mining thresholds the repo's other benches
+// use for it (mushroom at low support explodes combinatorially).
+func standingDataset(name string, seed int64) (ds *colarm.Dataset, primary, minSupp, minConf float64, err error) {
+	switch name {
+	case "salary":
+		ds, err = colarm.Salary()
+		return ds, 0.18, 0.30, 0.60, err
+	case "mushroom":
+		ds, err = colarm.GenerateMushroom(seed)
+		return ds, 0.05, 0.70, 0.85, err
+	default:
+		return nil, 0, 0, 0, fmt.Errorf("unknown standing-bench dataset %q", name)
+	}
+}
+
+// RunStanding benchmarks the standing-query subsystem: for each
+// subscription count S it registers S random localized standing
+// queries over a fresh engine, streams delta batches through Ingest,
+// and measures ingest-to-notify latency at the consumers plus the
+// per-diff incremental cost against the full re-mine baseline.
+func RunStanding(dataset string, subCounts []int, batches, batchRows int, seed int64) (*StandingReport, error) {
+	rep := &StandingReport{
+		Bench:     "standing",
+		PR:        CurrentPR,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Dataset:   dataset,
+	}
+	for _, s := range subCounts {
+		row, records, err := runStandingRow(dataset, s, batches, batchRows, seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.Records = records
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+func runStandingRow(dataset string, subs, batches, batchRows int, seed int64) (StandingRow, int, error) {
+	row := StandingRow{
+		Subscriptions:   subs,
+		Batches:         batches,
+		BatchRows:       batchRows,
+		BaselineRemines: subs * batches,
+	}
+	ds, primary, minSupp, minConf, err := standingDataset(dataset, seed)
+	if err != nil {
+		return row, 0, err
+	}
+	eng, err := colarm.Open(ds, colarm.Options{PrimarySupport: primary})
+	if err != nil {
+		return row, 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	metrics := obs.NewRegistry()
+	mgr := standing.NewManager(standing.Config{Metrics: metrics})
+	defer mgr.Close()
+	mgr.Attach(ds.Name(), eng)
+
+	queries := make([]colarm.Query, subs)
+	for i := range queries {
+		q, err := standingQuery(ds, rng, minSupp, minConf)
+		if err != nil {
+			return row, 0, err
+		}
+		// Distinct thresholds keep canonical forms distinct, so the
+		// benchmark measures S trackers, not dedup of identical queries.
+		q.MinSupport += float64(i%7) / 1000
+		queries[i] = q
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Minute)
+	defer cancel()
+
+	// batchStart maps the version produced by each Ingest call to its
+	// start time; consumers compute notify latency from it.
+	var mu sync.Mutex
+	batchStart := map[uint64]time.Time{}
+	var notify []time.Duration
+	events := 0
+
+	var wg sync.WaitGroup
+	for i := range queries {
+		sub, err := mgr.Create(ctx, ds.Name(), queries[i], nil)
+		if err != nil {
+			return row, 0, err
+		}
+		// The seeded snapshot's ToVersion predates every batch, so the
+		// consumer naturally skips it (no batchStart entry).
+		cur := sub.Cursor(0)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				evs, err := cur.Next(ctx)
+				if err != nil {
+					return
+				}
+				now := time.Now()
+				mu.Lock()
+				for _, ev := range evs {
+					if start, ok := batchStart[ev.ToVersion]; ok {
+						notify = append(notify, now.Sub(start))
+						events++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Creation-time baseline mines (and their verify re-diffs) land in
+	// the same histogram; count only batch-driven diffs from here on.
+	if err := mgr.Quiesce(ctx); err != nil {
+		return row, 0, err
+	}
+	hist := metrics.Histogram("colarm_rule_diff_seconds", "", "", nil)
+	skips := metrics.Counter("colarm_rule_diff_skipped_total", "")
+	diffs0, skips0 := hist.Count(), skips.Value()
+
+	for b := 0; b < batches; b++ {
+		rows, err := randomRows(ds, rng, batchRows)
+		if err != nil {
+			return row, 0, err
+		}
+		start := time.Now()
+		mu.Lock()
+		// The apply bumps the version clock by one; record the start
+		// under the version the batch will produce.
+		batchStart[eng.Version()+1] = start
+		mu.Unlock()
+		st, err := eng.Ingest(rows, nil)
+		if err != nil {
+			return row, 0, err
+		}
+		mu.Lock()
+		// Keep the actual post-apply version covered in case the clock
+		// advanced differently than predicted (sharded layouts).
+		if _, ok := batchStart[st.Version]; !ok {
+			batchStart[st.Version] = start
+		}
+		mu.Unlock()
+		// Let each batch notify before the next one lands, so the
+		// measurement is per-batch latency, not coalescing throughput.
+		if err := mgr.Quiesce(ctx); err != nil {
+			return row, 0, err
+		}
+	}
+	cancel()
+	wg.Wait()
+
+	mu.Lock()
+	row.Events = events
+	sort.Slice(notify, func(i, j int) bool { return notify[i] < notify[j] })
+	if len(notify) > 0 {
+		row.NotifyP50Ns = notify[len(notify)/2].Nanoseconds()
+		row.NotifyP99Ns = notify[(len(notify)*99)/100].Nanoseconds()
+	}
+	mu.Unlock()
+
+	row.DiffsSkipped = skips.Value() - skips0
+	row.DiffsComputed = hist.Count() - diffs0
+
+	// Steady-state per-diff cost vs the full re-mine baseline, over the
+	// final (aged) state: RuleDiff pays the merged-view mine plus the
+	// set diff; Mine is what a naive standing-query engine would run
+	// per subscription per batch.
+	var diffNs, remineNs []int64
+	for _, q := range queries {
+		res, err := eng.Mine(q)
+		if err != nil {
+			return row, 0, err
+		}
+		for it := 0; it < 3; it++ {
+			t0 := time.Now()
+			if _, err := eng.Mine(q); err != nil {
+				return row, 0, err
+			}
+			remineNs = append(remineNs, time.Since(t0).Nanoseconds())
+			t0 = time.Now()
+			if _, err := eng.RuleDiff(context.Background(), q, res.Rules); err != nil {
+				return row, 0, err
+			}
+			diffNs = append(diffNs, time.Since(t0).Nanoseconds())
+		}
+	}
+	sort.Slice(diffNs, func(i, j int) bool { return diffNs[i] < diffNs[j] })
+	sort.Slice(remineNs, func(i, j int) bool { return remineNs[i] < remineNs[j] })
+	row.DiffP50Ns = diffNs[len(diffNs)/2]
+	row.RemineP50Ns = remineNs[len(remineNs)/2]
+	return row, ds.NumRecords(), nil
+}
+
+// PrintStanding renders the report as a table.
+func PrintStanding(w io.Writer, rep *StandingReport) {
+	fmt.Fprintf(w, "standing queries: %s (%d records), %s/%s %d CPUs\n\n",
+		rep.Dataset, rep.Records, rep.GOOS, rep.GOARCH, rep.CPUs)
+	fmt.Fprintf(w, "%6s %8s %8s %8s %10s %12s %12s %12s %12s\n",
+		"subs", "batches", "events", "diffs", "skipped", "notify p50", "notify p99", "diff p50", "remine p50")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%6d %8d %8d %8d %10d %12s %12s %12s %12s\n",
+			r.Subscriptions, r.Batches, r.Events, r.DiffsComputed, r.DiffsSkipped,
+			time.Duration(r.NotifyP50Ns), time.Duration(r.NotifyP99Ns),
+			time.Duration(r.DiffP50Ns), time.Duration(r.RemineP50Ns))
+	}
+	for _, r := range rep.Rows {
+		if r.BaselineRemines > 0 {
+			fmt.Fprintf(w, "\nS=%d: %d incremental diffs instead of %d full re-mines (gate skipped %d)\n",
+				r.Subscriptions, r.DiffsComputed, r.BaselineRemines, r.DiffsSkipped)
+		}
+	}
+}

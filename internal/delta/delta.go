@@ -87,6 +87,24 @@ type Staleness struct {
 	RebuildRecommended bool
 }
 
+// Applied describes one accepted ingest batch to apply observers: the
+// version-clock interval the batch covers and the value-index tuples of
+// every record the batch changed — inserted rows plus the (pre-delete)
+// values of deleted rows. A standing query whose focal region contains
+// none of these tuples provably kept its exact rule set across the
+// interval: rule supports and measures are computed entirely within the
+// focal subset, and a batch that neither adds a record to the subset
+// nor removes one from it leaves every count the plans consult
+// untouched.
+type Applied struct {
+	// FromVersion is the delta version before the batch applied,
+	// ToVersion the version after (ToVersion = FromVersion + 1).
+	FromVersion, ToVersion uint64
+	// Rows holds the changed tuples (value indices, one per attribute).
+	// Deletes of records that were already dead contribute nothing.
+	Rows [][]int32
+}
+
 // Store buffers post-build transactions for one engine and serves the
 // merged execution view. All methods are safe for concurrent use.
 type Store struct {
@@ -95,6 +113,10 @@ type Store struct {
 	primary float64
 	units   cost.Units
 	workers int
+
+	obsMu     sync.Mutex
+	observers map[int]func(Applied)
+	nextObs   int
 
 	rows  [][]int32   // buffered inserts (value indices, one per attr)
 	dead  []bool      // dead[k]: buffered row k was later deleted
@@ -143,22 +165,63 @@ func (s *Store) SetRebuildCost(d time.Duration) {
 	}
 }
 
+// Observe registers fn to be called after every accepted Ingest batch
+// with the interval it covered and the tuples it changed. The callback
+// runs synchronously on the ingesting goroutine, after the store's lock
+// is released but possibly under locks of wrappers routing the ingest
+// (a sharded collection) — it must return quickly and must not call
+// back into the store or the engine; hand the notice to a worker
+// instead. Under concurrent ingestion, callbacks for different batches
+// may arrive out of order; the intervals themselves always tile.
+// The returned cancel removes the observer.
+func (s *Store) Observe(fn func(Applied)) (cancel func()) {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	if s.observers == nil {
+		s.observers = make(map[int]func(Applied))
+	}
+	id := s.nextObs
+	s.nextObs++
+	s.observers[id] = fn
+	return func() {
+		s.obsMu.Lock()
+		defer s.obsMu.Unlock()
+		delete(s.observers, id)
+	}
+}
+
+// notifyApplied fans one accepted batch out to the registered apply
+// observers (no-op when there are none).
+func (s *Store) notifyApplied(ap Applied) {
+	s.obsMu.Lock()
+	fns := make([]func(Applied), 0, len(s.observers))
+	for _, fn := range s.observers {
+		fns = append(fns, fn)
+	}
+	s.obsMu.Unlock()
+	for _, fn := range fns {
+		fn(ap)
+	}
+}
+
 // Ingest appends a batch of inserts and applies a batch of deletes,
 // atomically bumping the delta version. Rows carry value indices (the
 // caller resolves labels against the frozen vocabulary); deletes name
 // record ids in the current id space. The batch is validated before any
-// mutation, so a rejected batch leaves the store unchanged.
+// mutation, so a rejected batch leaves the store unchanged. Accepted
+// batches are reported to the registered apply observers.
 func (s *Store) Ingest(rows [][]int32, deletes []int) (Staleness, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	d := s.idx.Dataset
 	baseN, attrs := d.NumRecords(), d.NumAttrs()
 	for _, row := range rows {
 		if len(row) != attrs {
+			defer s.mu.Unlock()
 			return s.stalenessLocked(), fmt.Errorf("delta: row has %d values, dataset has %d attributes", len(row), attrs)
 		}
 		for a, v := range row {
 			if int(v) < 0 || int(v) >= s.idx.Cards[a] {
+				defer s.mu.Unlock()
 				return s.stalenessLocked(), fmt.Errorf("delta: %w: attribute %q value index %d outside [0,%d)",
 					qerr.ErrUnknownValue, d.Attrs[a].Name, v, s.idx.Cards[a])
 			}
@@ -167,27 +230,44 @@ func (s *Store) Ingest(rows [][]int32, deletes []int) (Staleness, error) {
 	limit := baseN + len(s.rows) + len(rows)
 	for _, id := range deletes {
 		if id < 0 || id >= limit {
+			defer s.mu.Unlock()
 			return s.stalenessLocked(), fmt.Errorf("delta: %w: %d outside [0,%d)", qerr.ErrBadRecordID, id, limit)
 		}
 	}
+	ap := Applied{FromVersion: s.version, ToVersion: s.version + 1}
 	for _, row := range rows {
 		cp := make([]int32, attrs)
 		copy(cp, row)
 		s.rows = append(s.rows, cp)
 		s.dead = append(s.dead, false)
+		ap.Rows = append(ap.Rows, cp)
 	}
 	for _, id := range deletes {
 		if id < baseN {
 			if !s.tombs.Contains(id) {
 				s.tombs.Add(id)
+				ap.Rows = append(ap.Rows, baseRow(d, id))
 			}
 		} else if k := id - baseN; !s.dead[k] {
 			s.dead[k] = true
 			s.ndead++
+			ap.Rows = append(ap.Rows, s.rows[k])
 		}
 	}
 	s.version++
-	return s.stalenessLocked(), nil
+	st := s.stalenessLocked()
+	s.mu.Unlock()
+	s.notifyApplied(ap)
+	return st, nil
+}
+
+// baseRow materializes one base record's value-index tuple.
+func baseRow(d *relation.Dataset, r int) []int32 {
+	row := make([]int32, d.NumAttrs())
+	for a := range row {
+		row[a] = int32(d.Value(r, a))
+	}
+	return row
 }
 
 // Staleness reports the store's current drift.

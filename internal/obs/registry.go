@@ -35,7 +35,7 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // returned metrics never does.
 type Registry struct {
 	mu    sync.Mutex
-	order []any // *Counter | *Histogram, in registration order
+	order []any // *Counter | *Gauge | *Histogram, in registration order
 	byKey map[string]any
 }
 
@@ -111,6 +111,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		switch m := m.(type) {
 		case *Counter:
 			if err := header(m.name, m.help, "counter"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, renderLabels(m.labels, ""), m.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if err := header(m.name, m.help, "gauge"); err != nil {
 				return err
 			}
 			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, renderLabels(m.labels, ""), m.Value()); err != nil {

@@ -4,20 +4,39 @@
 // admission control bounding concurrent mining work, and a sharded LRU
 // result cache keyed by the canonical query form.
 //
-// Endpoints:
+// Endpoints (the route table in routes.go is authoritative, and
+// api/openapi.yaml documents every route on it):
 //
-//	POST /v1/mine      execute a query (JSON body, or a COLARM-QL
-//	                   statement as text/plain)
-//	POST /v1/explain   optimizer cost estimates without executing
-//	POST /v1/ingest    buffer live inserts/deletes into a dataset's
-//	                   delta store; may trigger a background rebuild
-//	GET  /v1/datasets  registered datasets, their metadata and
-//	                   ingestion staleness
-//	GET  /metrics      Prometheus exposition: server + engine metrics
-//	GET  /debug/pprof  the standard Go profiling handlers
+//	POST   /v1/mine                     execute a query (JSON body, or a
+//	                                    COLARM-QL statement as text/plain)
+//	POST   /v1/explain                  optimizer cost estimates without
+//	                                    executing
+//	POST   /v1/ingest                   buffer live inserts/deletes into a
+//	                                    dataset's delta store; may trigger
+//	                                    a background rebuild
+//	GET    /v1/datasets                 registered datasets, their metadata
+//	                                    and ingestion staleness
+//	GET    /v1/datasets/{name}          one dataset's detail view: value
+//	                                    domains, staleness, version
+//	POST   /v1/subscriptions            register a standing query (201 +
+//	                                    Location)
+//	GET    /v1/subscriptions            list standing subscriptions
+//	GET    /v1/subscriptions/{id}       one subscription
+//	DELETE /v1/subscriptions/{id}       cancel a subscription
+//	GET    /v1/subscriptions/{id}/events
+//	                                    the subscription's rule-diff event
+//	                                    stream: SSE by default (resumable
+//	                                    via Last-Event-ID), one-shot JSON
+//	                                    long-poll with ?wait=
+//	GET    /metrics                     Prometheus exposition: server +
+//	                                    engine metrics
+//	GET    /debug/pprof                 the standard Go profiling handlers
 //
 // A request with a wrong method on any /v1 route is answered with a
-// JSON 405 carrying an Allow header.
+// JSON 405 carrying an Allow header. Every /v1 error response is the
+// structured envelope {"error": {"code", "message", "details"}} with a
+// machine-readable code (plus a deprecated legacyError string for one
+// release).
 //
 // Ingested transactions are merged into every subsequent answer, so
 // queries stay exact while the base index ages; when the accumulated
@@ -34,11 +53,9 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
-	"net/http/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -46,6 +63,7 @@ import (
 	"colarm"
 	"colarm/internal/colarmql"
 	"colarm/internal/obs"
+	"colarm/internal/standing"
 )
 
 // Config tunes one Server. Zero values select the defaults noted on
@@ -75,6 +93,16 @@ type Config struct {
 	// engines were opened with; /metrics appends its exposition after
 	// the server's own metrics.
 	EngineMetrics *colarm.MetricsRegistry
+	// MaxSubscriptions caps live standing-query subscriptions
+	// (default 1024).
+	MaxSubscriptions int
+	// SubscriptionBuffer is each subscription's bounded event-ring
+	// capacity (default 256); a consumer that falls this far behind is
+	// evicted with a terminal event.
+	SubscriptionBuffer int
+	// SSEHeartbeat is the keep-alive comment interval on idle event
+	// streams (default 15s).
+	SSEHeartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -96,16 +124,23 @@ func (c Config) withDefaults() Config {
 	if c.CacheTTL == 0 {
 		c.CacheTTL = 5 * time.Minute
 	}
+	if c.SSEHeartbeat == 0 {
+		c.SSEHeartbeat = 15 * time.Second
+	}
 	return c
 }
 
 // Server serves mining queries over HTTP for a registry of engines.
 type Server struct {
-	cfg     Config
-	reg     *Registry
-	cache   *resultCache // nil when caching is disabled
-	adm     *admission
-	metrics *obs.Registry
+	cfg      Config
+	reg      *Registry
+	cache    *resultCache // nil when caching is disabled
+	adm      *admission
+	metrics  *obs.Registry
+	standing *standing.Manager
+	// sseDelay is a test knob: a per-event write delay simulating a
+	// slow SSE consumer, so eviction is deterministic under test.
+	sseDelay time.Duration
 
 	requests map[string]*obs.Counter
 	errors   map[string]*obs.Counter
@@ -148,37 +183,31 @@ func New(reg *Registry, cfg Config) *Server {
 	if cfg.CacheEntries > 0 {
 		s.cache = newResultCache(cfg.CacheEntries, cfg.CacheTTL, m)
 	}
-	for _, ep := range []string{"mine", "explain", "ingest", "datasets", "metrics"} {
+	for _, ep := range []string{"mine", "explain", "ingest", "datasets", "metrics", "subscriptions", "events"} {
 		labels := fmt.Sprintf("endpoint=%q", ep)
 		s.requests[ep] = m.CounterWith("colarm_http_requests_total", labels, "HTTP requests served, by endpoint.")
 		s.errors[ep] = m.CounterWith("colarm_http_request_errors_total", labels, "HTTP requests answered with a non-2xx status, by endpoint.")
 	}
+	// The standing-query manager shares the server's metrics registry
+	// and hooks every registered engine's apply-notice stream; rebuild
+	// swaps re-attach the fresh engine (see rebuild).
+	s.standing = standing.NewManager(standing.Config{
+		MaxSubscriptions: cfg.MaxSubscriptions,
+		EventBuffer:      cfg.SubscriptionBuffer,
+		Metrics:          m,
+	})
+	for _, info := range reg.List() {
+		if eng, _, err := reg.Get(info.Name); err == nil {
+			s.standing.Attach(info.Name, eng)
+		}
+	}
 	return s
 }
 
-// Handler returns the server's routing handler.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/mine", s.handleMine)
-	mux.HandleFunc("POST /v1/explain", s.handleExplain)
-	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
-	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
-	// Method-less fallbacks catch wrong-method requests on the API
-	// routes with a JSON 405 + Allow instead of the mux's plain-text
-	// default (the method patterns above are more specific and win for
-	// the allowed methods).
-	mux.HandleFunc("/v1/mine", s.methodNotAllowed("POST"))
-	mux.HandleFunc("/v1/explain", s.methodNotAllowed("POST"))
-	mux.HandleFunc("/v1/ingest", s.methodNotAllowed("POST"))
-	mux.HandleFunc("/v1/datasets", s.methodNotAllowed("GET"))
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
-}
+// Close stops the standing-query manager (terminating every
+// subscription) and releases the server's background resources. The
+// HTTP handler must not be used after Close.
+func (s *Server) Close() { s.standing.Close() }
 
 // mineRequest is the JSON body of /v1/mine and /v1/explain. Exactly one
 // of QL (a COLARM-QL statement, also accepted as a raw text/plain body)
@@ -244,21 +273,24 @@ type estimateJSON struct {
 }
 
 type mineResponse struct {
-	Dataset   string         `json:"dataset"`
-	Cached    bool           `json:"cached"`
-	Rules     []ruleJSON     `json:"rules"`
-	Stats     statsJSON      `json:"stats"`
-	Estimates []estimateJSON `json:"estimates,omitempty"`
-	Trace     string         `json:"trace,omitempty"`
+	Dataset string `json:"dataset"`
+	// Generation and Version locate the answer on the dataset's
+	// (registry generation, delta version-clock) timeline, correlating
+	// it with ingest responses and standing-query events.
+	Generation uint64         `json:"generation"`
+	Version    uint64         `json:"version"`
+	Cached     bool           `json:"cached"`
+	Rules      []ruleJSON     `json:"rules"`
+	Stats      statsJSON      `json:"stats"`
+	Estimates  []estimateJSON `json:"estimates,omitempty"`
+	Trace      string         `json:"trace,omitempty"`
 }
 
 type explainResponse struct {
-	Dataset   string         `json:"dataset"`
-	Estimates []estimateJSON `json:"estimates"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
+	Dataset    string         `json:"dataset"`
+	Generation uint64         `json:"generation"`
+	Version    uint64         `json:"version"`
+	Estimates  []estimateJSON `json:"estimates"`
 }
 
 // parseRequest decodes the request body into the engine-independent
@@ -365,17 +397,24 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := eng.Dataset().Name()
+	ver := eng.Version()
 
 	cacheable := s.cache != nil && !q.Trace && !req.NoCache
-	key := fmt.Sprintf("%s@g%d|%s", name, gen, q.Canonical())
+	// The key carries generation AND delta version: an ingest bumps the
+	// version, so post-ingest queries can never be served a stale
+	// pre-ingest cached result (rules are a pure function of the
+	// version clock).
+	key := fmt.Sprintf("%s@g%d.v%d|%s", name, gen, ver, q.Canonical())
 	if cacheable {
 		if res := s.cache.get(key); res != nil {
 			s.writeJSON(w, http.StatusOK, mineResponse{
-				Dataset:   name,
-				Cached:    true,
-				Rules:     rulesJSON(res.Rules),
-				Stats:     toStatsJSON(res.Stats),
-				Estimates: estimatesJSON(res.Estimates),
+				Dataset:    name,
+				Generation: gen,
+				Version:    ver,
+				Cached:     true,
+				Rules:      rulesJSON(res.Rules),
+				Stats:      toStatsJSON(res.Stats),
+				Estimates:  estimatesJSON(res.Estimates),
 			})
 			return
 		}
@@ -399,14 +438,18 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "mine", err)
 		return
 	}
-	if cacheable {
+	if cacheable && eng.Version() == ver {
+		// Skip the fill when an ingest landed mid-mine: the result may
+		// reflect the newer version and must not be pinned to this key.
 		s.cache.put(key, res)
 	}
 	resp := mineResponse{
-		Dataset:   name,
-		Rules:     rulesJSON(res.Rules),
-		Stats:     toStatsJSON(res.Stats),
-		Estimates: estimatesJSON(res.Estimates),
+		Dataset:    name,
+		Generation: gen,
+		Version:    eng.Version(),
+		Rules:      rulesJSON(res.Rules),
+		Stats:      toStatsJSON(res.Stats),
+		Estimates:  estimatesJSON(res.Estimates),
 	}
 	if res.Trace != nil {
 		resp.Trace = res.Trace.Tree()
@@ -421,7 +464,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "explain", badRequestError{err})
 		return
 	}
-	eng, _, q, err := s.resolve(req)
+	eng, gen, q, err := s.resolve(req)
 	if err != nil {
 		s.fail(w, "explain", err)
 		return
@@ -438,8 +481,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, explainResponse{
-		Dataset:   eng.Dataset().Name(),
-		Estimates: estimatesJSON(ests),
+		Dataset:    eng.Dataset().Name(),
+		Generation: gen,
+		Version:    eng.Version(),
+		Estimates:  estimatesJSON(ests),
 	})
 }
 
@@ -448,6 +493,63 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, struct {
 		Datasets []DatasetInfo `json:"datasets"`
 	}{s.reg.List()})
+}
+
+// datasetDetail is the GET /v1/datasets/{name} view: the listing entry
+// plus the delta version clock, the full staleness report and each
+// attribute's value domain (the vocabulary ingest inserts must use).
+type datasetDetail struct {
+	DatasetInfo
+	Version       uint64              `json:"version"`
+	Staleness     stalenessJSON       `json:"staleness"`
+	Domains       map[string][]string `json:"domains"`
+	Subscriptions int                 `json:"subscriptions"`
+}
+
+func (s *Server) handleDatasetDetail(w http.ResponseWriter, r *http.Request) {
+	s.requests["datasets"].Inc()
+	name := r.PathValue("name")
+	eng, gen, err := s.reg.Get(name)
+	if err != nil {
+		s.fail(w, "datasets", notFoundError{err})
+		return
+	}
+	ds := eng.Dataset()
+	st := eng.Staleness()
+	detail := datasetDetail{
+		DatasetInfo: DatasetInfo{
+			Name:               name,
+			Records:            ds.NumRecords(),
+			Attributes:         ds.Attributes(),
+			Partitions:         eng.NumPartitions(),
+			Generation:         gen,
+			BufferedRows:       st.BufferedRows,
+			Tombstones:         st.Tombstones,
+			RebuildRecommended: st.RebuildRecommended,
+		},
+		Version:   st.Version,
+		Staleness: toStalenessJSON(st),
+		Domains:   make(map[string][]string, len(ds.Attributes())),
+	}
+	for _, ss := range st.Shards {
+		detail.Shards = append(detail.Shards, ShardInfo{
+			Shard:        ss.Shard,
+			Records:      ss.Records,
+			BufferedRows: ss.BufferedRows,
+			Tombstones:   ss.Tombstones,
+			Version:      ss.Version,
+		})
+	}
+	for _, a := range ds.Attributes() {
+		vals, _ := ds.Values(a)
+		detail.Domains[a] = vals
+	}
+	for _, sub := range s.standing.List() {
+		if sub.Dataset() == name {
+			detail.Subscriptions++
+		}
+	}
+	s.writeJSON(w, http.StatusOK, detail)
 }
 
 // ingestRequest is the JSON body of /v1/ingest. Each insert maps every
@@ -488,6 +590,7 @@ type ingestResponse struct {
 	Inserted   int           `json:"inserted"`
 	Deleted    int           `json:"deleted"`
 	Generation uint64        `json:"generation"`
+	Version    uint64        `json:"version"`
 	Staleness  stalenessJSON `json:"staleness"`
 	// RebuildStarted reports that this request kicked off a background
 	// rebuild; the dataset's generation bumps when it swaps in.
@@ -546,7 +649,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	name := eng.Dataset().Name()
 	if s.ing.rebuilding[name] {
 		s.ing.Unlock()
-		s.fail(w, "ingest", conflictError{fmt.Errorf("dataset %q is rebuilding; retry when the generation bumps", name)})
+		s.fail(w, "ingest", conflictError{
+			err:     fmt.Errorf("dataset %q is rebuilding; retry when the generation bumps", name),
+			dataset: name,
+		})
 		return
 	}
 	st, err := eng.IngestContext(r.Context(), req.Inserts, req.Deletes)
@@ -569,6 +675,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Inserted:       len(req.Inserts),
 		Deleted:        len(req.Deletes),
 		Generation:     gen,
+		Version:        st.Version,
 		Staleness:      toStalenessJSON(st),
 		RebuildStarted: started,
 	})
@@ -582,22 +689,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 func (s *Server) rebuild(name string, eng *colarm.Engine) {
 	fresh, err := eng.Rebuild(context.Background())
 	s.ing.Lock()
-	defer s.ing.Unlock()
 	if err != nil {
 		s.rebuildsFailed.Inc()
 	} else {
 		s.reg.Register(fresh)
 	}
 	delete(s.ing.rebuilding, name)
-}
-
-// methodNotAllowed answers wrong-method requests on an API route with a
-// JSON 405 and the route's Allow header.
-func (s *Server) methodNotAllowed(allow string) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Allow", allow)
-		s.writeJSON(w, http.StatusMethodNotAllowed,
-			errorResponse{Error: fmt.Sprintf("method %s not allowed on %s; use %s", r.Method, r.URL.Path, allow)})
+	s.ing.Unlock()
+	if err == nil {
+		// Re-hook standing queries onto the fresh engine: trackers
+		// re-baseline and emit an epoch event re-anchoring the version
+		// clock, so event streams survive the swap.
+		s.standing.Attach(name, fresh)
 	}
 }
 
@@ -608,64 +711,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.EngineMetrics != nil {
 		_ = s.cfg.EngineMetrics.WritePrometheus(w)
 	}
-}
-
-// badRequestError and notFoundError wrap errors whose status the
-// handler decided at the point of failure.
-type badRequestError struct{ err error }
-
-func (e badRequestError) Error() string { return e.err.Error() }
-func (e badRequestError) Unwrap() error { return e.err }
-
-type notFoundError struct{ err error }
-
-func (e notFoundError) Error() string { return e.err.Error() }
-func (e notFoundError) Unwrap() error { return e.err }
-
-// conflictError marks an ingest racing a background rebuild — 409.
-type conflictError struct{ err error }
-
-func (e conflictError) Error() string { return e.err.Error() }
-func (e conflictError) Unwrap() error { return e.err }
-
-// statusOf maps an error to its HTTP status: the facade's typed
-// validation errors (and explicitly tagged parse failures) are the
-// caller's fault — 400; an unknown dataset is 404; admission overflow
-// is 429; a query that outran its deadline is 504; everything else is
-// an engine fault — 500.
-func statusOf(err error) int {
-	var bad badRequestError
-	var missing notFoundError
-	var conflict conflictError
-	switch {
-	case errors.As(err, &bad),
-		errors.Is(err, colarm.ErrUnknownAttribute),
-		errors.Is(err, colarm.ErrUnknownValue),
-		errors.Is(err, colarm.ErrBadThreshold),
-		errors.Is(err, colarm.ErrUnknownPlan),
-		errors.Is(err, colarm.ErrBadRecordID):
-		return http.StatusBadRequest
-	case errors.As(err, &missing):
-		return http.StatusNotFound
-	case errors.As(err, &conflict):
-		return http.StatusConflict
-	case errors.Is(err, errOverloaded):
-		return http.StatusTooManyRequests
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		// The client went away; 499 is the de-facto (nginx) code for
-		// "client closed request" — nobody reads it, but the access log
-		// does.
-		return 499
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-func (s *Server) fail(w http.ResponseWriter, endpoint string, err error) {
-	s.errors[endpoint].Inc()
-	s.writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {

@@ -34,7 +34,9 @@ func newTestServer(t testing.TB, cfg Config) (*Server, *Registry) {
 	t.Helper()
 	reg := NewRegistry()
 	reg.Register(salaryEngine(t, cfg.EngineMetrics))
-	return New(reg, cfg), reg
+	s := New(reg, cfg)
+	t.Cleanup(s.Close)
+	return s, reg
 }
 
 func postJSON(t testing.TB, h http.Handler, path string, body any) *httptest.ResponseRecorder {
@@ -206,7 +208,7 @@ func TestErrorStatuses(t *testing.T) {
 			t.Errorf("%s: status = %d, want %d (body: %s)", tc.name, w.Code, tc.want, w.Body.String())
 		}
 		var e errorResponse
-		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error.Code == "" || e.LegacyError == "" {
 			t.Errorf("%s: error body not JSON with message: %s", tc.name, w.Body.String())
 		}
 	}

@@ -1,0 +1,312 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"colarm"
+	"colarm/internal/standing"
+)
+
+// subscribeRequest is the JSON body of POST /v1/subscriptions: the
+// same query shape as /v1/mine (structured fields or a COLARM-QL
+// statement) plus an optional tracked-measure threshold.
+type subscribeRequest struct {
+	Dataset        string              `json:"dataset"`
+	QL             string              `json:"ql,omitempty"`
+	Range          map[string][]string `json:"range,omitempty"`
+	ItemAttributes []string            `json:"itemAttributes,omitempty"`
+	MinSupport     float64             `json:"minSupport,omitempty"`
+	MinConfidence  float64             `json:"minConfidence,omitempty"`
+	MaxConsequent  int                 `json:"maxConsequent,omitempty"`
+	Plan           string              `json:"plan,omitempty"`
+	Track          *trackJSON          `json:"track,omitempty"`
+}
+
+type trackJSON struct {
+	Measure   string  `json:"measure"`
+	Threshold float64 `json:"threshold"`
+}
+
+// subscriptionJSON describes one subscription resource.
+type subscriptionJSON struct {
+	ID      string     `json:"id"`
+	Dataset string     `json:"dataset"`
+	Query   string     `json:"query"` // canonical form
+	Track   *trackJSON `json:"track,omitempty"`
+	// Events is the subscription's event-stream path.
+	Events string `json:"events"`
+	// Generation and Version locate the dataset when the response was
+	// built (Generation is the registry generation, as on /v1/mine).
+	Generation uint64 `json:"generation"`
+	Version    uint64 `json:"version"`
+}
+
+func (s *Server) subscriptionJSON(sub *standing.Subscription) subscriptionJSON {
+	out := subscriptionJSON{
+		ID:      sub.ID(),
+		Dataset: sub.Dataset(),
+		Query:   sub.Query().Canonical(),
+		Events:  "/v1/subscriptions/" + sub.ID() + "/events",
+	}
+	if tr := sub.Track(); tr != nil {
+		out.Track = &trackJSON{Measure: tr.Measure, Threshold: tr.Threshold}
+	}
+	if eng, gen, err := s.reg.Get(sub.Dataset()); err == nil {
+		out.Generation = gen
+		out.Version = eng.Version()
+	}
+	return out
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	s.requests["subscriptions"].Inc()
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		s.fail(w, "subscriptions", badRequestError{fmt.Errorf("reading body: %w", err)})
+		return
+	}
+	var req subscribeRequest
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, "subscriptions", badRequestError{fmt.Errorf("decoding JSON body: %w", err)})
+		return
+	}
+	eng, _, q, err := s.resolve(&mineRequest{
+		Dataset:        req.Dataset,
+		QL:             req.QL,
+		Range:          req.Range,
+		ItemAttributes: req.ItemAttributes,
+		MinSupport:     req.MinSupport,
+		MinConfidence:  req.MinConfidence,
+		MaxConsequent:  req.MaxConsequent,
+		Plan:           req.Plan,
+	})
+	if err != nil {
+		s.fail(w, "subscriptions", err)
+		return
+	}
+	var track *standing.Track
+	if req.Track != nil {
+		track = &standing.Track{Measure: req.Track.Measure, Threshold: req.Track.Threshold}
+	}
+	sub, err := s.standing.Create(r.Context(), eng.Dataset().Name(), q, track)
+	if err != nil {
+		s.fail(w, "subscriptions", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/subscriptions/"+sub.ID())
+	s.writeJSON(w, http.StatusCreated, s.subscriptionJSON(sub))
+}
+
+func (s *Server) handleSubscriptions(w http.ResponseWriter, r *http.Request) {
+	s.requests["subscriptions"].Inc()
+	subs := s.standing.List()
+	out := make([]subscriptionJSON, 0, len(subs))
+	for _, sub := range subs {
+		out = append(out, s.subscriptionJSON(sub))
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Subscriptions []subscriptionJSON `json:"subscriptions"`
+	}{out})
+}
+
+func (s *Server) handleSubscriptionGet(w http.ResponseWriter, r *http.Request) {
+	s.requests["subscriptions"].Inc()
+	sub := s.standing.Get(r.PathValue("id"))
+	if sub == nil {
+		s.fail(w, "subscriptions", notFoundError{fmt.Errorf("no subscription %q", r.PathValue("id"))})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.subscriptionJSON(sub))
+}
+
+func (s *Server) handleSubscriptionDelete(w http.ResponseWriter, r *http.Request) {
+	s.requests["subscriptions"].Inc()
+	if !s.standing.Delete(r.PathValue("id")) {
+		s.fail(w, "subscriptions", notFoundError{fmt.Errorf("no subscription %q", r.PathValue("id"))})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// eventJSON is the wire form of a standing.Event, with rules rendered
+// like /v1/mine renders them.
+type eventJSON struct {
+	Seq         uint64         `json:"seq"`
+	Type        string         `json:"type"`
+	Dataset     string         `json:"dataset"`
+	Generation  uint64         `json:"generation"`
+	FromVersion uint64         `json:"fromVersion"`
+	ToVersion   uint64         `json:"toVersion"`
+	Rules       []ruleJSON     `json:"rules,omitempty"`
+	Appeared    []ruleJSON     `json:"appeared,omitempty"`
+	Disappeared []ruleJSON     `json:"disappeared,omitempty"`
+	Updated     []ruleJSON     `json:"updated,omitempty"`
+	Crossed     []crossingJSON `json:"crossed,omitempty"`
+	Reason      string         `json:"reason,omitempty"`
+}
+
+type crossingJSON struct {
+	Rule      ruleJSON `json:"rule"`
+	Measure   string   `json:"measure"`
+	Threshold float64  `json:"threshold"`
+	Direction string   `json:"direction"`
+	Previous  float64  `json:"previous"`
+	Current   float64  `json:"current"`
+}
+
+func toEventJSON(ev standing.Event) eventJSON {
+	out := eventJSON{
+		Seq:         ev.Seq,
+		Type:        ev.Type,
+		Dataset:     ev.Dataset,
+		Generation:  ev.Generation,
+		FromVersion: ev.FromVersion,
+		ToVersion:   ev.ToVersion,
+		Rules:       rulesJSON(ev.Rules),
+		Appeared:    rulesJSON(ev.Appeared),
+		Disappeared: rulesJSON(ev.Disappeared),
+		Updated:     rulesJSON(ev.Updated),
+		Reason:      ev.Reason,
+	}
+	if len(ev.Rules) == 0 {
+		out.Rules = nil
+	}
+	for _, cr := range ev.Crossed {
+		out.Crossed = append(out.Crossed, crossingJSON{
+			Rule:      rulesJSON([]colarm.Rule{cr.Rule})[0],
+			Measure:   cr.Measure,
+			Threshold: cr.Threshold,
+			Direction: cr.Direction,
+			Previous:  cr.Previous,
+			Current:   cr.Current,
+		})
+	}
+	return out
+}
+
+// handleSubscriptionEvents streams a subscription's events. With a
+// "wait" query parameter it long-polls: one JSON response with the
+// events past "after" (empty after the wait expires). Otherwise it is
+// an SSE stream: each event is written as id/event/data frames, the
+// Last-Event-ID header (or "after") resumes a broken connection, and a
+// consumer that falls off the bounded buffer receives a terminal
+// "evicted" event before the stream closes. A resume position that has
+// aged out of the buffer yields a fresh snapshot event (resync), never
+// a silent gap.
+func (s *Server) handleSubscriptionEvents(w http.ResponseWriter, r *http.Request) {
+	s.requests["events"].Inc()
+	sub := s.standing.Get(r.PathValue("id"))
+	if sub == nil {
+		s.fail(w, "events", notFoundError{fmt.Errorf("no subscription %q", r.PathValue("id"))})
+		return
+	}
+	after := uint64(0)
+	pos := r.Header.Get("Last-Event-ID")
+	if pos == "" {
+		pos = r.URL.Query().Get("after")
+	}
+	if pos != "" {
+		v, err := strconv.ParseUint(pos, 10, 64)
+		if err != nil {
+			s.fail(w, "events", badRequestError{fmt.Errorf("bad resume position %q: %w", pos, err)})
+			return
+		}
+		after = v
+	}
+
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		s.longPoll(w, sub, after, waitStr)
+		return
+	}
+
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.fail(w, "events", fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ctx := r.Context()
+	c := sub.Cursor(after)
+	for {
+		hctx, cancel := context.WithTimeout(ctx, s.cfg.SSEHeartbeat)
+		evs, err := c.Next(hctx)
+		cancel()
+		for _, ev := range evs {
+			if s.sseDelay > 0 {
+				// Test knob: simulate a slow consumer so eviction paths
+				// can be exercised deterministically.
+				time.Sleep(s.sseDelay)
+			}
+			data, merr := json.Marshal(toEventJSON(ev))
+			if merr != nil {
+				return
+			}
+			if _, werr := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); werr != nil {
+				return
+			}
+		}
+		fl.Flush()
+		switch {
+		case err == nil:
+			continue
+		case errors.Is(err, standing.ErrEvicted), errors.Is(err, standing.ErrClosed):
+			// Terminal: the evicted event (if any) is already written.
+			return
+		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+			// Heartbeat keep-alive comment so intermediaries don't cut
+			// an idle stream.
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		default:
+			// Client disconnected.
+			return
+		}
+	}
+}
+
+// longPoll answers one GET with the buffered events past `after`,
+// waiting up to the requested duration for the first one.
+func (s *Server) longPoll(w http.ResponseWriter, sub *standing.Subscription, after uint64, waitStr string) {
+	wait, err := time.ParseDuration(waitStr)
+	if err != nil {
+		s.fail(w, "events", badRequestError{fmt.Errorf("bad wait %q: %w", waitStr, err)})
+		return
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	if max := s.cfg.QueryTimeout; max > 0 && wait > max {
+		wait = max
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	evs, err := sub.Cursor(after).Next(ctx)
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) &&
+		!errors.Is(err, standing.ErrClosed) && !errors.Is(err, standing.ErrEvicted) {
+		s.fail(w, "events", err)
+		return
+	}
+	out := make([]eventJSON, 0, len(evs))
+	for _, ev := range evs {
+		out = append(out, toEventJSON(ev))
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Subscription string      `json:"subscription"`
+		Events       []eventJSON `json:"events"`
+	}{sub.ID(), out})
+}

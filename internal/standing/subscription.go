@@ -1,0 +1,256 @@
+package standing
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"colarm"
+)
+
+// Event types. Every event carries a per-subscription sequence number
+// (starting at 1) and the (generation, version-clock) interval it
+// covers; a client that applies snapshot → diffs in sequence order
+// reconstructs the subscription's rule set exactly.
+const (
+	// EventSnapshot carries the full rule set — the first event of every
+	// subscription, and the resync event handed to a consumer resuming
+	// from a position that has aged out of the event buffer.
+	EventSnapshot = "snapshot"
+	// EventDiff carries an incremental change: Appeared, Disappeared and
+	// Updated rules, plus any tracked-measure threshold Crossings.
+	EventDiff = "diff"
+	// EventEpoch marks an engine swap (background rebuild): the version
+	// clock re-anchors at the new engine's reading. It carries diff
+	// fields like EventDiff — empty when the rebuild was
+	// exactness-preserving, non-empty if the swapped-in engine disagrees.
+	EventEpoch = "epoch"
+	// EventEvicted is the terminal event delivered to a slow consumer
+	// that fell off the event buffer while connected: the subscription
+	// stays alive, but this consumer must reconnect (and will be
+	// resynced with a snapshot).
+	EventEvicted = "evicted"
+)
+
+// Sentinel errors surfaced by Cursor.Next and Manager entry points.
+var (
+	// ErrEvicted accompanies the terminal EventEvicted batch: the
+	// consumer fell behind the subscription's bounded event buffer.
+	ErrEvicted = errors.New("standing: consumer evicted: fell behind the event buffer")
+	// ErrClosed means the subscription was deleted (or the manager shut
+	// down) and no further events will ever arrive.
+	ErrClosed = errors.New("standing: subscription closed")
+	// ErrLimit means the manager's MaxSubscriptions cap is reached.
+	ErrLimit = errors.New("standing: subscription limit reached")
+)
+
+// Track asks a subscription to additionally report threshold crossings
+// of one derived measure: whenever a rule persists across a diff and
+// its tracked measure moves from one side of Threshold to the other,
+// the diff event's Crossed list records it.
+type Track struct {
+	// Measure is one of "support", "confidence", "lift", "cosine",
+	// "kulczynski".
+	Measure string `json:"measure"`
+	// Threshold is the boundary being watched.
+	Threshold float64 `json:"threshold"`
+}
+
+// Crossing reports one rule whose tracked measure crossed the
+// subscription's threshold within a diff's version interval.
+type Crossing struct {
+	Rule      colarm.Rule `json:"rule"`
+	Measure   string      `json:"measure"`
+	Threshold float64     `json:"threshold"`
+	// Direction is "above" when the measure rose across the threshold,
+	// "below" when it fell.
+	Direction string `json:"direction"`
+	// Previous and Current are the measure's values on the two sides.
+	Previous float64 `json:"previous"`
+	Current  float64 `json:"current"`
+}
+
+// Event is one entry in a subscription's ordered event stream.
+type Event struct {
+	// Seq is the per-subscription sequence number, contiguous from 1.
+	// Synthesized resync snapshots and terminal evicted events reuse the
+	// last appended sequence number rather than consuming a new one.
+	Seq  uint64 `json:"seq"`
+	Type string `json:"type"`
+
+	Dataset string `json:"dataset"`
+	// Generation is the engine generation the event's "after" side was
+	// mined on; FromVersion..ToVersion is the delta version-clock
+	// interval the event covers. Diff intervals tile: each diff's
+	// FromVersion equals the previous event's ToVersion, so unaffected
+	// batches (which provably leave the rule set unchanged) are covered
+	// by the next emitted diff's interval. An epoch event re-anchors the
+	// clock: its interval is on the new generation's clock.
+	Generation  uint64 `json:"generation"`
+	FromVersion uint64 `json:"fromVersion"`
+	ToVersion   uint64 `json:"toVersion"`
+
+	// Rules is the full rule set (snapshot events only).
+	Rules []colarm.Rule `json:"rules,omitempty"`
+	// Appeared/Disappeared/Updated are the diff payload (diff and epoch
+	// events). Disappeared rules carry their last-seen values; Updated
+	// rules carry current values.
+	Appeared    []colarm.Rule `json:"appeared,omitempty"`
+	Disappeared []colarm.Rule `json:"disappeared,omitempty"`
+	Updated     []colarm.Rule `json:"updated,omitempty"`
+	// Crossed lists tracked-measure threshold crossings (only when the
+	// subscription was created with a Track).
+	Crossed []Crossing `json:"crossed,omitempty"`
+	// Reason explains terminal evicted events.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Subscription is one registered standing query. Events accumulate in
+// a bounded ring buffer; any number of concurrent consumers read them
+// through Cursors. When the ring wraps, the oldest events are dropped
+// (counted, never silent): a connected consumer that needed them is
+// evicted with a terminal event, a reconnecting consumer is resynced
+// with a fresh snapshot.
+type Subscription struct {
+	id      string
+	dataset string
+	query   colarm.Query
+	track   *Track
+	t       *tracker
+	m       *Manager
+
+	// Ring state, guarded by the tracker's mutex (appends happen while
+	// the tracker updates its baseline, and resyncs must read baseline
+	// and cursor position atomically, so one lock covers both).
+	buf      []Event // ring storage, capacity fixed at creation
+	start    int     // index of the event with sequence firstSeq
+	firstSeq uint64  // sequence of the oldest retained event
+	nextSeq  uint64  // sequence the next appended event receives
+	wake     chan struct{}
+	closed   bool
+}
+
+// ID returns the subscription's opaque identifier.
+func (s *Subscription) ID() string { return s.id }
+
+// Dataset returns the dataset the subscription watches.
+func (s *Subscription) Dataset() string { return s.dataset }
+
+// Query returns the subscribed query.
+func (s *Subscription) Query() colarm.Query { return s.query }
+
+// Track returns the tracked-measure configuration, or nil.
+func (s *Subscription) Track() *Track { return s.track }
+
+// append adds ev to the ring under t.mu, assigning its sequence
+// number, and reports how many old events were dropped to make room.
+func (s *Subscription) append(ev Event) (dropped int) {
+	ev.Seq = s.nextSeq
+	s.nextSeq++
+	if n := int(s.nextSeq - s.firstSeq - 1); n == len(s.buf) {
+		// Ring full: overwrite the oldest slot.
+		s.buf[s.start] = ev
+		s.start = (s.start + 1) % len(s.buf)
+		s.firstSeq++
+		dropped = 1
+	} else {
+		s.buf[(s.start+n)%len(s.buf)] = ev
+	}
+	close(s.wake)
+	s.wake = make(chan struct{})
+	return dropped
+}
+
+// close marks the subscription deleted and wakes all consumers (under
+// t.mu).
+func (s *Subscription) closeLocked() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.wake)
+	s.wake = make(chan struct{})
+}
+
+// Cursor is one consumer's position in a subscription's event stream.
+// Cursors are not safe for concurrent use; create one per consumer.
+type Cursor struct {
+	s *Subscription
+	// next is the sequence number of the next event to deliver.
+	next uint64
+	// live is set once the cursor has delivered events: a live cursor
+	// that falls off the ring is evicted, a fresh one is resynced.
+	live bool
+}
+
+// Cursor creates a consumer cursor positioned after sequence number
+// `after` (0 reads from the beginning). A position that has already
+// aged out of the buffer is not an error: the first Next resyncs with
+// a synthesized snapshot.
+func (s *Subscription) Cursor(after uint64) *Cursor {
+	return &Cursor{s: s, next: after + 1}
+}
+
+// Next blocks until at least one event past the cursor's position is
+// available and returns the available batch in sequence order.
+//
+//   - If the subscription was deleted, returns ErrClosed (after
+//     draining any remaining buffered events).
+//   - If a cursor that has already delivered events falls off the ring
+//     (slow consumer), returns a terminal EventEvicted event together
+//     with ErrEvicted; the consumer must reconnect.
+//   - If a fresh cursor's start position has aged out, returns a
+//     synthesized EventSnapshot carrying the subscription's current
+//     baseline, re-positioned at the live tail.
+//   - Otherwise blocks until woken by an append, ctx.Done(), or close.
+func (c *Cursor) Next(ctx context.Context) ([]Event, error) {
+	s := c.s
+	for {
+		s.t.mu.Lock()
+		if c.next < s.firstSeq {
+			if c.live {
+				ev := Event{
+					Seq:     s.nextSeq - 1,
+					Type:    EventEvicted,
+					Dataset: s.dataset,
+					Reason: fmt.Sprintf("consumer fell behind: events %d..%d were dropped from the buffer",
+						c.next, s.firstSeq-1),
+				}
+				s.t.mu.Unlock()
+				s.m.evictions.Inc()
+				return []Event{ev}, ErrEvicted
+			}
+			// Fresh consumer whose position aged out: resync from the
+			// tracker baseline. Baseline and cursor position are read
+			// under the same lock that appends hold, so no diff computed
+			// after this snapshot can be skipped.
+			ev := s.t.snapshotEventLocked(s)
+			ev.Seq = s.nextSeq - 1
+			c.next = s.nextSeq
+			c.live = true
+			s.t.mu.Unlock()
+			return []Event{ev}, nil
+		}
+		if c.next < s.nextSeq {
+			evs := make([]Event, 0, s.nextSeq-c.next)
+			for seq := c.next; seq < s.nextSeq; seq++ {
+				evs = append(evs, s.buf[(s.start+int(seq-s.firstSeq))%len(s.buf)])
+			}
+			c.next = s.nextSeq
+			c.live = true
+			s.t.mu.Unlock()
+			return evs, nil
+		}
+		if s.closed {
+			s.t.mu.Unlock()
+			return nil, ErrClosed
+		}
+		wake := s.wake
+		s.t.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}

@@ -5,8 +5,9 @@ Three checks, all against files committed to the repository — the script
 never runs a benchmark itself:
 
  1. every artifact is well-formed and carries the fields its bench kind
-    promises (tidset rows, shards rows, or the index report's kernel and
-    consolidation sections);
+    promises (tidset rows, shards rows, the index report's kernel and
+    consolidation sections, or the standing report's notify-latency
+    rows);
  2. inside every "index" report the flat layout must win (or tie) each
     physical kernel it is benchmarked on against the pointer layout —
     the flat slabs exist for speed, so a committed artifact showing the
@@ -82,6 +83,25 @@ def validate_shape(name, rep):
             fail(f"{name}: index report has no consolidation rows")
         if not rep.get("shard_index_build"):
             fail(f"{name}: index report has no shard_index_build rows")
+    elif kind == "standing":
+        rows = rep.get("rows")
+        if not rows:
+            fail(f"{name}: standing report has no rows")
+        for row in rows:
+            for field in ("subscriptions", "batches", "events",
+                          "diffs_computed", "notify_p50_ns", "notify_p99_ns",
+                          "diff_p50_ns", "remine_p50_ns"):
+                if field not in row:
+                    fail(f"{name}: standing row missing {field}: {row}")
+            if row["notify_p50_ns"] <= 0 or row["notify_p99_ns"] < row["notify_p50_ns"]:
+                fail(f"{name}: standing row has a degenerate notify-latency "
+                     f"shape (p50 {row['notify_p50_ns']}, p99 {row['notify_p99_ns']})")
+            if row["events"] <= 0 or row["diffs_computed"] <= 0:
+                fail(f"{name}: standing row delivered no events: {row}")
+            ceiling = row["subscriptions"] * row["batches"]
+            if row["diffs_computed"] > 2 * ceiling:
+                fail(f"{name}: standing row computed {row['diffs_computed']} diffs "
+                     f"for only {ceiling} (subscription x batch) pairs")
     else:
         fail(f"{name}: unknown bench kind {kind!r}")
 

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Structurally validate api/openapi.yaml without external validators.
+
+The OpenAPI document is the public contract for the /v1 surface; this
+script keeps it internally consistent so CI can gate on it:
+
+ 1. the document parses, declares OpenAPI 3.x, and carries info.title
+    and info.version;
+ 2. every path has at least one operation, every operation has at least
+    one response, and every response carries a description (directly or
+    through its $ref);
+ 3. every $ref in the document resolves to a node inside the document
+    (no dangling component references);
+ 4. every {param} in a path template is declared as an in:path required
+    parameter on each of that path's operations;
+ 5. every documented non-2xx response resolves to the structured error
+    envelope (the ErrorResponse schema), so no endpoint can quietly
+    document a bare-string error.
+
+The route <-> document coverage check (every mux route appears here) is
+a Go test, TestOpenAPIRouteCoverage, which reads the same file.
+
+Exit status is nonzero on the first failed check.
+"""
+
+import re
+import sys
+
+try:
+    import yaml
+except ImportError:  # pragma: no cover - CI images ship PyYAML
+    print("check_openapi: PyYAML unavailable; skipping", file=sys.stderr)
+    sys.exit(0)
+
+HTTP_METHODS = {"get", "put", "post", "delete", "options", "head", "patch", "trace"}
+
+
+def fail(msg):
+    print(f"check_openapi: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def resolve(doc, ref, seen=()):
+    """Resolve a local $ref like '#/components/schemas/Rule'."""
+    if not ref.startswith("#/"):
+        fail(f"non-local $ref {ref!r}")
+    if ref in seen:
+        fail(f"$ref cycle at {ref!r}")
+    node = doc
+    for part in ref[2:].split("/"):
+        part = part.replace("~1", "/").replace("~0", "~")
+        if not isinstance(node, dict) or part not in node:
+            fail(f"dangling $ref {ref!r} (missing {part!r})")
+        node = node[part]
+    if isinstance(node, dict) and "$ref" in node:
+        return resolve(doc, node["$ref"], seen + (ref,))
+    return node
+
+
+def walk_refs(doc, node, where):
+    """Check that every $ref under node resolves."""
+    if isinstance(node, dict):
+        if "$ref" in node:
+            resolve(doc, node["$ref"])
+        for k, v in node.items():
+            walk_refs(doc, v, f"{where}.{k}")
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            walk_refs(doc, v, f"{where}[{i}]")
+
+
+def declared_path_params(doc, op, path_item):
+    names = set()
+    for scope in (path_item.get("parameters", []), op.get("parameters", [])):
+        for p in scope:
+            if isinstance(p, dict) and "$ref" in p:
+                p = resolve(doc, p["$ref"])
+            if p.get("in") == "path":
+                if not p.get("required"):
+                    fail(f"path parameter {p.get('name')!r} must be required")
+                names.add(p["name"])
+    return names
+
+
+def error_schema_name(doc, resp):
+    """Return the schema $ref target name of a JSON error response."""
+    if "$ref" in resp:
+        resp = resolve(doc, resp["$ref"])
+    content = resp.get("content", {})
+    media = content.get("application/json")
+    if media is None:
+        return None
+    schema = media.get("schema", {})
+    ref = schema.get("$ref", "")
+    return ref.rsplit("/", 1)[-1] if ref else None
+
+
+def main(path):
+    with open(path) as f:
+        doc = yaml.safe_load(f)
+
+    version = str(doc.get("openapi", ""))
+    if not version.startswith("3."):
+        fail(f"openapi version {version!r}, want 3.x")
+    info = doc.get("info", {})
+    if not info.get("title") or not info.get("version"):
+        fail("info.title and info.version are required")
+
+    paths = doc.get("paths", {})
+    if not paths:
+        fail("no paths documented")
+
+    walk_refs(doc, doc, "$")
+
+    ops = 0
+    for tmpl, path_item in paths.items():
+        params_in_tmpl = set(re.findall(r"\{([^{}/]+)\}", tmpl))
+        methods = [m for m in path_item if m in HTTP_METHODS]
+        if not methods:
+            fail(f"path {tmpl} has no operations")
+        for method in methods:
+            ops += 1
+            op = path_item[method]
+            where = f"{method.upper()} {tmpl}"
+            responses = op.get("responses", {})
+            if not responses:
+                fail(f"{where}: no responses")
+            declared = declared_path_params(doc, op, path_item)
+            if params_in_tmpl - declared:
+                fail(f"{where}: undeclared path params {sorted(params_in_tmpl - declared)}")
+            for status, resp in responses.items():
+                resolved = resolve(doc, resp["$ref"]) if "$ref" in resp else resp
+                if not resolved.get("description"):
+                    fail(f"{where}: response {status} has no description")
+                if not str(status).startswith("2"):
+                    name = error_schema_name(doc, resp)
+                    if name != "ErrorResponse":
+                        fail(
+                            f"{where}: response {status} must use the "
+                            f"ErrorResponse envelope, got {name!r}"
+                        )
+
+    print(f"check_openapi: OK ({len(paths)} paths, {ops} operations)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "api/openapi.yaml")
