@@ -66,6 +66,17 @@
 //	-standing-subs L    comma-separated subscription counts (default 1,4,16)
 //	-standing-dataset D dataset: "salary" or "mushroom" (default mushroom)
 //
+// -advisor runs the self-tuning optimizer benchmark: first the online
+// recalibration loop (plan-choice accuracy and mean latency over the
+// same mushroom workload under the static unit costs, then again after
+// the guardrailed recalibrator has evaluated the observed operator
+// timings), then the index advisor on a skewed workload of localized
+// low-support queries the base index forces to ARM — before and after
+// the advisor's recommended secondary MIP-index is built:
+//
+//	-advisor            run the self-tuning optimizer benchmark
+//	-advisor-queries N  queries per workload phase (default 24)
+//
 // Observability flags:
 //
 //	-metrics ADDR       serve engine metrics (Prometheus text format) at
@@ -128,12 +139,21 @@ func main() {
 		standing   = flag.Bool("standing", false, "run the standing-query benchmark (ingest-to-notify latency, diff vs full re-mine)")
 		standSubs  = flag.String("standing-subs", "1,4,16", "comma-separated subscription counts for -standing")
 		standData  = flag.String("standing-dataset", "mushroom", `dataset for -standing ("salary" or "mushroom")`)
+		advisorRun = flag.Bool("advisor", false, "run the self-tuning optimizer benchmark (recalibration + index advisor)")
+		advisorQs  = flag.Int("advisor-queries", 24, "queries per workload phase for -advisor")
 		index      = flag.Bool("index", false, "run the MIP-index physical-layer benchmark (flat vs pointer layout)")
 		indexProbe = flag.Int("index-probes", 4096, "probe operations per kernel for -index")
 		indexIters = flag.Int("index-iters", 5, "timing rounds per kernel for -index (minimum is reported)")
-		benchOut   = flag.String("bench-out", "", "write the -tidset, -shards or -index report as JSON to this file (e.g. BENCH_8.json)")
+		benchOut   = flag.String("bench-out", "", "write the -tidset, -shards, -index, -standing or -advisor report as JSON to this file (e.g. BENCH_10.json)")
 	)
 	flag.Parse()
+	if *advisorRun {
+		if err := runAdvisor(*full, *advisorQs, *seed, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "colarm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *standing {
 		if err := runStanding(*standData, *standSubs, *batches, *batchRows, *seed, *benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "colarm-bench:", err)
@@ -167,6 +187,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "colarm-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runAdvisor runs the self-tuning optimizer benchmark (recalibration
+// accuracy/latency plus the skewed-workload secondary-index win) and
+// optionally persists the JSON report (BENCH_<pr>.json).
+func runAdvisor(full bool, queries int, seed int64, out string) error {
+	if queries < 1 {
+		return fmt.Errorf("-advisor-queries must be positive")
+	}
+	rep, err := bench.RunAdvisor(full, queries, seed)
+	if err != nil {
+		return err
+	}
+	bench.PrintAdvisor(os.Stdout, rep)
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", out)
+	return nil
 }
 
 // runStanding runs the standing-query benchmark (ingest-to-notify

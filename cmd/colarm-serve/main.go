@@ -37,11 +37,20 @@
 //	                      consumer is evicted (default 256)
 //	-sse-heartbeat D      idle-stream SSE heartbeat interval (default 15s)
 //
+//	-advisor-interval D   run the self-tuning policy loop: every D each
+//	                      engine gets one cost-recalibration evaluation
+//	                      (unit swaps stay guardrail-gated); 0 disables
+//	                      the loop, the advisor endpoints work regardless
+//	-advisor-auto-apply   additionally let the loop apply the index
+//	                      advisor's recommendations, building/dropping
+//	                      secondary indexes the workload pays for
+//
 // Endpoints: POST /v1/mine, POST /v1/explain, POST /v1/ingest,
-// GET /v1/datasets, GET /v1/datasets/{name}, POST/GET /v1/subscriptions,
-// GET/DELETE /v1/subscriptions/{id}, GET /v1/subscriptions/{id}/events
-// (SSE or long-poll), GET /metrics, GET /debug/pprof/. The full surface
-// is documented in api/openapi.yaml. Ingested transactions are buffered
+// GET /v1/datasets, GET /v1/datasets/{name},
+// GET /v1/datasets/{name}/advisor, POST /v1/datasets/{name}/advisor/apply,
+// POST/GET /v1/subscriptions, GET/DELETE /v1/subscriptions/{id},
+// GET /v1/subscriptions/{id}/events (SSE or long-poll), GET /metrics,
+// GET /debug/pprof/. The full surface is documented in api/openapi.yaml. Ingested transactions are buffered
 // in each engine's delta store and merged into every subsequent answer
 // (queries stay exact while the index ages); when the accumulated delta
 // overhead crosses the rebuild cost, the server rebuilds the index in
@@ -96,6 +105,9 @@ func main() {
 		maxSubs      = flag.Int("max-subscriptions", 0, "standing-query subscriptions served at once (0 = default 1024)")
 		subBuffer    = flag.Int("sub-buffer", 0, "buffered events per subscription before slow-consumer eviction (0 = default 256)")
 		sseHeartbeat = flag.Duration("sse-heartbeat", 0, "idle-stream SSE heartbeat interval (0 = default 15s)")
+
+		advisorInterval  = flag.Duration("advisor-interval", 0, "self-tuning policy loop interval (0 disables; endpoints work regardless)")
+		advisorAutoApply = flag.Bool("advisor-auto-apply", false, "let the policy loop build/drop the secondary indexes the workload pays for")
 	)
 	var snapshots, csvs listFlag
 	flag.Var(&snapshots, "snapshot", "name=path of an index snapshot to load (repeatable)")
@@ -113,6 +125,9 @@ func main() {
 		MaxSubscriptions:   *maxSubs,
 		SubscriptionBuffer: *subBuffer,
 		SSEHeartbeat:       *sseHeartbeat,
+
+		AdvisorInterval:  *advisorInterval,
+		AdvisorAutoApply: *advisorAutoApply,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "colarm-serve:", err)
 		os.Exit(1)

@@ -12,7 +12,8 @@
 //	-primary P      primary support threshold for the index (default
 //	                per-dataset for builtins, 0.1 for CSV)
 //	-query Q        run one query and exit (otherwise reads stdin)
-//	-explain        also print the optimizer's per-plan cost estimates
+//	-explain        also print the optimizer's per-plan cost estimates,
+//	                the live-calibrated unit costs and their drift
 //	-trace          print the per-operator execution trace of each query
 //	-measures       print lift/cosine/kulczynski for each rule
 //	-limit N        print at most N rules (default 25, 0 = all)
@@ -149,6 +150,26 @@ func repl(eng *colarm.Engine, o opts) error {
 	return sc.Err()
 }
 
+// printCalibration shows the self-tuning optimizer's pricing state:
+// the live unit costs the estimates above were computed with, how far
+// the observed-timing evidence says they have drifted, and when the
+// recalibrator last swapped them.
+func printCalibration(eng *colarm.Engine) {
+	cal := eng.Advisor().Calibration
+	u := cal.LiveUnits
+	tag := "static"
+	if u != cal.StaticUnits {
+		tag = "recalibrated"
+	}
+	fmt.Printf("unit costs (%s): wordOp %.2f  boxRel %.2f  idProbe %.2f  mapOp %.2f  genOp %.2f ns\n",
+		tag, u.WordOp, u.BoxRel, u.IDProbe, u.MapOp, u.GenOp)
+	fmt.Printf("drift %.3f over %d samples", cal.DriftScore, cal.Samples)
+	if cal.Swaps > 0 {
+		fmt.Printf(" | %d recalibration(s), last %s", cal.Swaps, cal.LastSwap.Format("15:04:05"))
+	}
+	fmt.Println()
+}
+
 func printSchema(eng *colarm.Engine) {
 	ds := eng.Dataset()
 	for _, attr := range ds.Attributes() {
@@ -190,6 +211,7 @@ func execute(ctx context.Context, eng *colarm.Engine, query string, o opts) erro
 			fmt.Printf("  %-10s cost %12.0f  candidates %8.0f  qualified %8.0f\n",
 				e.Plan, e.Cost, e.Candidates, e.Qualified)
 		}
+		printCalibration(eng)
 	}
 	for i, r := range res.Rules {
 		if o.limit > 0 && i >= o.limit {

@@ -15,7 +15,7 @@ import (
 
 // CurrentPR stamps freshly generated BENCH_<pr>.json perf-trajectory
 // artifacts with the PR that produced them.
-const CurrentPR = 9
+const CurrentPR = 10
 
 // The shards benchmark measures what hash-partitioning costs and buys:
 // for each shard count K the same read workload is replayed against a

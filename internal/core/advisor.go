@@ -1,0 +1,456 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"colarm/internal/advisor"
+	"colarm/internal/cost"
+	"colarm/internal/mip"
+	"colarm/internal/plans"
+)
+
+// secondaryIndex is one extra physical MIP-index the engine holds
+// beside the base index: same merged records, mined at a lower primary
+// support, so it answers queries whose localized thresholds the base
+// index's applicability gate forces to ARM. A secondary is always a
+// monolithic frozen index (no delta view of its own); it participates
+// in the optimizer's argmin only while fresh — built at exactly the
+// current delta version — because any later ingest would make its
+// prestored CFIs silently incomplete.
+type secondaryIndex struct {
+	Index    *mip.Index
+	Executor *plans.Executor
+	Model    *cost.Model
+	Primary  float64
+	// BuiltVersion is the delta version of the merged surface the index
+	// was mined over; it is fresh only while the engine's delta version
+	// still equals it.
+	BuiltVersion  uint64
+	BuildDuration time.Duration
+}
+
+// SecondaryInfo describes one installed secondary index.
+type SecondaryInfo struct {
+	Primary       float64
+	PrimaryCount  int
+	CFIs          int
+	BuiltVersion  uint64
+	Fresh         bool
+	BuildDuration time.Duration
+}
+
+// planChoice is one resolved optimizer decision across every physical
+// index: the plan, the index that executes it (nil sec = base), and the
+// evidence the advisor logs about it.
+type planChoice struct {
+	kind plans.Kind
+	ests []cost.Estimate
+	// sec is the secondary index that won the argmin, nil for the base
+	// index; secID its 1-based position (0 = base).
+	sec   *secondaryIndex
+	secID int
+	// model is the cost model of the executing index, under the units
+	// the decision was priced with — the decomposition source for
+	// recalibration evidence.
+	model *cost.Model
+
+	subset, localCount int
+	// forcedARM reports the applicability gate overrode a MIP argmin
+	// and no secondary index reclaimed the query.
+	forcedARM bool
+	// applicable is the base surface's gate verdict (secondaries aside).
+	applicable bool
+	bestMIP    float64
+	armCost    float64
+}
+
+// liveModel returns the cost model priced with the advisor's live
+// units: the model itself when nothing was recalibrated, a shallow
+// per-query copy otherwise (statistics shared read-only, units
+// swapped) so concurrent queries never race on Model.U.
+func (e *Engine) liveModel() *cost.Model {
+	if e.Advisor == nil {
+		return e.Model
+	}
+	live := e.Advisor.LiveUnits()
+	if live == e.Model.U {
+		return e.Model
+	}
+	mo := *e.Model
+	mo.U = live
+	return &mo
+}
+
+// choose runs the cost-based optimizer across every physical index:
+// the base argmin with the paper's applicability override, then each
+// fresh secondary index's argmin, keeping whichever (plan, index) pair
+// estimates cheapest. A secondary competes only when its own — lower —
+// primary count clears the query's localized threshold, so every pair
+// the argmin may pick returns the complete localized answer.
+func (e *Engine) choose(q *plans.Query) planChoice {
+	mo := e.liveModel()
+	kind, ests := mo.Choose(q)
+	ch := planChoice{kind: kind, ests: ests, model: mo}
+	for _, est := range ests {
+		if est.Plan == plans.ARM {
+			ch.armCost = est.Total
+		} else if ch.bestMIP == 0 || est.Total < ch.bestMIP {
+			ch.bestMIP = est.Total
+		}
+	}
+	var primaryCount int
+	ch.subset, ch.localCount, primaryCount = e.Executor.Localized(q)
+	ch.applicable = ch.localCount >= primaryCount
+	if ch.kind != plans.ARM && !ch.applicable {
+		ch.kind = plans.ARM
+		ch.forcedARM = true
+	}
+	baseCost := math.Inf(1)
+	for _, est := range ests {
+		if est.Plan == ch.kind {
+			baseCost = est.Total
+		}
+	}
+
+	// Secondary indexes: every fresh one whose primary count the
+	// localized threshold reaches joins the argmin. A fresh secondary
+	// covers exactly the same merged records as the base surface, so
+	// the focal subset — and with it the localized threshold — is
+	// identical and needs no recomputation.
+	version := e.Delta.Staleness().Version
+	e.secMu.RLock()
+	for i, s := range e.secondaries {
+		if s.BuiltVersion != version || s.Index.PrimaryCount > ch.localCount {
+			continue
+		}
+		smo := *s.Model
+		smo.U = mo.U
+		sk, sests := smo.Choose(q)
+		if sk == plans.ARM {
+			// ARM ignores the index layers; running it on a secondary
+			// buys nothing over the base.
+			continue
+		}
+		var scost float64
+		for _, est := range sests {
+			if est.Plan == sk {
+				scost = est.Total
+			}
+		}
+		if scost < baseCost {
+			baseCost = scost
+			ch.kind, ch.sec, ch.secID = sk, s, i+1
+			ch.forcedARM = false
+			m := smo
+			ch.model = &m
+		}
+		if ch.bestMIP == 0 || scost < ch.bestMIP {
+			ch.bestMIP = scost
+		}
+	}
+	e.secMu.RUnlock()
+	return ch
+}
+
+// executor returns the executor of the index the choice runs on.
+func (ch planChoice) executor(e *Engine) *plans.Executor {
+	if ch.sec != nil {
+		return ch.sec.Executor
+	}
+	return e.Executor
+}
+
+// noteAdvisor feeds one successfully executed query into the advisor:
+// the workload-log entry always, the per-operator recalibration
+// evidence when the query was traced.
+func (e *Engine) noteAdvisor(q *plans.Query, ch planChoice, res *plans.Result) {
+	if e.Advisor == nil || res == nil {
+		return
+	}
+	if ch.secID > 0 {
+		e.secChosen.Inc()
+	}
+	e.Advisor.ObserveQuery(advisor.QueryObservation{
+		SubsetSize:  ch.subset,
+		LocalCount:  ch.localCount,
+		Plan:        res.Stats.Plan,
+		IndexUsed:   ch.secID,
+		ForcedARM:   ch.forcedARM,
+		Measured:    res.Stats.Duration,
+		BestMIPCost: ch.bestMIP,
+		ARMCost:     ch.armCost,
+	})
+	if q.Trace == nil {
+		return
+	}
+	// Match the executed plan's traced operator spans to its cost
+	// decomposition by operator label; each matched pair is one
+	// measured-vs-predicted sample for the recalibrator.
+	var pc *cost.PlanCoeffs
+	coeffs := ch.model.Decompose(q)
+	for i := range coeffs {
+		if coeffs[i].Plan == ch.kind {
+			pc = &coeffs[i]
+		}
+	}
+	if pc == nil {
+		return
+	}
+	durs := make(map[string]time.Duration, len(q.Trace.Spans))
+	for _, sp := range q.Trace.Spans {
+		durs[sp.Op.String()] += sp.Duration
+	}
+	var terms []advisor.TermObservation
+	for _, t := range pc.Terms {
+		if d := durs[t.Operator]; d > 0 {
+			terms = append(terms, advisor.TermObservation{Operator: t.Operator, Coeff: t.Coeff, Measured: d})
+		}
+	}
+	e.Advisor.ObserveTerms(terms)
+}
+
+// noteChoiceEvaluation feeds one all-plans evaluation into the
+// guardrail replay window: per plan the unit-independent total-cost
+// coefficient vector and the measured time, plus the applicability
+// verdict, so the advisor can replay the argmin under any candidate
+// units.
+func (e *Engine) noteChoiceEvaluation(q *plans.Query, ch planChoice, measured []time.Duration) {
+	if e.Advisor == nil || len(measured) != len(ch.ests) {
+		return
+	}
+	coeffs := e.Model.Decompose(q)
+	if len(coeffs) != len(ch.ests) {
+		return
+	}
+	obs := advisor.ChoiceObservation{MIPApplicable: ch.applicable, ARMIndex: -1}
+	for i, pc := range coeffs {
+		obs.Coeffs = append(obs.Coeffs, pc.TotalCoeff())
+		obs.Measured = append(obs.Measured, measured[i])
+		if pc.Plan == plans.ARM {
+			obs.ARMIndex = i
+		}
+	}
+	if obs.ARMIndex < 0 {
+		return
+	}
+	e.Advisor.ObserveChoice(obs)
+}
+
+// Recalibrate runs one advisor drift evaluation and mirrors the
+// outcome into the engine's metrics. Serving layers call it
+// periodically; it is cheap when nothing drifted.
+func (e *Engine) Recalibrate() advisor.CalibrationReport {
+	if e.Advisor == nil {
+		return advisor.CalibrationReport{}
+	}
+	rep := e.Advisor.Recalibrate()
+	if rep.Swapped {
+		e.recalSwaps.Inc()
+	}
+	e.driftMicro.Set(int64(rep.DriftScore * 1e6))
+	return rep
+}
+
+// BuildSecondary mines a secondary MIP-index over the current merged
+// records at the given primary support and installs it atomically. The
+// engine serves queries throughout; the new index joins the argmin from
+// the moment it is installed (replacing any existing secondary at the
+// same primary count).
+func (e *Engine) BuildSecondary(ctx context.Context, primary float64) (SecondaryInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return SecondaryInfo{}, err
+	}
+	if primary <= 0 || primary > 1 {
+		return SecondaryInfo{}, fmt.Errorf("core: secondary primary support %v outside (0,1]", primary)
+	}
+	version := e.Delta.Staleness().Version
+	merged, err := e.Delta.MergedDataset()
+	if err != nil {
+		return SecondaryInfo{}, err
+	}
+	start := time.Now()
+	idx, err := mip.Build(merged, mip.Options{
+		PrimarySupport: primary,
+		Fanout:         e.opts.Fanout,
+		Packing:        e.opts.Packing,
+		Layout:         e.opts.Layout,
+		Workers:        e.opts.Workers,
+	})
+	if err != nil {
+		return SecondaryInfo{}, err
+	}
+	return e.installSecondary(idx, primary, version, time.Since(start)), nil
+}
+
+// installSecondary wires the executor and model around a mined
+// secondary index and swaps it into the engine's index set.
+func (e *Engine) installSecondary(idx *mip.Index, primary float64, version uint64, dur time.Duration) SecondaryInfo {
+	ex := plans.NewExecutor(idx)
+	ex.Mode = e.opts.CheckMode
+	ex.Workers = e.opts.Workers
+	smo := cost.NewModel(idx, e.Model.U)
+	smo.Mode = e.opts.CheckMode
+	s := &secondaryIndex{
+		Index:         idx,
+		Executor:      ex,
+		Model:         smo,
+		Primary:       primary,
+		BuiltVersion:  version,
+		BuildDuration: dur,
+	}
+	e.secMu.Lock()
+	replaced := false
+	for i, old := range e.secondaries {
+		// Same primary fraction = same logical index; a rebuild at the
+		// same fraction over a moved surface replaces the stale copy even
+		// when the absolute count shifted with the record count.
+		if math.Abs(old.Primary-primary) <= 1e-9 || old.Index.PrimaryCount == idx.PrimaryCount {
+			e.secondaries[i] = s
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		e.secondaries = append(e.secondaries, s)
+	}
+	e.secMu.Unlock()
+	e.secBuilds.Inc()
+	return secondaryInfo(s, version)
+}
+
+// DropSecondary removes the secondary index installed at the given
+// primary support; it reports whether one matched.
+func (e *Engine) DropSecondary(primary float64) bool {
+	e.secMu.Lock()
+	defer e.secMu.Unlock()
+	for i, s := range e.secondaries {
+		if math.Abs(s.Primary-primary) <= 1e-9 {
+			e.secondaries = append(e.secondaries[:i], e.secondaries[i+1:]...)
+			e.secDrops.Inc()
+			return true
+		}
+	}
+	return false
+}
+
+func secondaryInfo(s *secondaryIndex, version uint64) SecondaryInfo {
+	return SecondaryInfo{
+		Primary:       s.Primary,
+		PrimaryCount:  s.Index.PrimaryCount,
+		CFIs:          len(s.Index.Boxes),
+		BuiltVersion:  s.BuiltVersion,
+		Fresh:         s.BuiltVersion == version,
+		BuildDuration: s.BuildDuration,
+	}
+}
+
+// FreshSecondaryIndexes returns the primary fraction and index of each
+// currently fresh secondary, for persistence. Stale secondaries are
+// skipped: they can never be consulted again and are not worth the
+// bytes.
+func (e *Engine) FreshSecondaryIndexes() (primaries []float64, indexes []*mip.Index) {
+	version := e.Delta.Staleness().Version
+	e.secMu.RLock()
+	defer e.secMu.RUnlock()
+	for _, s := range e.secondaries {
+		if s.BuiltVersion == version {
+			primaries = append(primaries, s.Primary)
+			indexes = append(indexes, s.Index)
+		}
+	}
+	return primaries, indexes
+}
+
+// RestoreSecondary reinstalls a deserialized secondary index as fresh
+// against the engine's current delta version. Valid only when the
+// engine's merged surface is identical to the one the secondary was
+// mined over — the persistence path guarantees it by saving only fresh
+// secondaries and restoring them after the delta replay.
+func (e *Engine) RestoreSecondary(idx *mip.Index, primary float64) SecondaryInfo {
+	return e.installSecondary(idx, primary, e.Delta.Staleness().Version, 0)
+}
+
+// Secondaries lists the installed secondary indexes.
+func (e *Engine) Secondaries() []SecondaryInfo {
+	version := e.Delta.Staleness().Version
+	e.secMu.RLock()
+	defer e.secMu.RUnlock()
+	out := make([]SecondaryInfo, 0, len(e.secondaries))
+	for _, s := range e.secondaries {
+		out = append(out, secondaryInfo(s, version))
+	}
+	return out
+}
+
+// secondaryStates snapshots the installed secondaries in the advisor's
+// vocabulary (1-based ids matching the workload log's IndexUsed).
+func (e *Engine) secondaryStates() []advisor.SecondaryState {
+	version := e.Delta.Staleness().Version
+	e.secMu.RLock()
+	defer e.secMu.RUnlock()
+	out := make([]advisor.SecondaryState, 0, len(e.secondaries))
+	for i, s := range e.secondaries {
+		out = append(out, advisor.SecondaryState{
+			ID:           i + 1,
+			Primary:      s.Primary,
+			PrimaryCount: s.Index.PrimaryCount,
+			Stale:        s.BuiltVersion != version,
+		})
+	}
+	return out
+}
+
+// mergedRecords approximates the current merged record count (live
+// base records minus tombstones plus buffered inserts) for converting
+// support counts to fractions.
+func (e *Engine) mergedRecords() int {
+	n := e.Index.Dataset.NumRecords()
+	if e.Index.Live != nil {
+		n = e.Index.Live.Count()
+	}
+	st := e.Delta.Staleness()
+	n += st.BufferedRows - st.Tombstones
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Recommendations mines the advisor's workload log against the
+// currently installed secondary indexes: which index to build, which
+// to drop, and why.
+func (e *Engine) Recommendations() []advisor.Recommendation {
+	if e.Advisor == nil {
+		return nil
+	}
+	buildCost := e.Delta.Staleness().RebuildCost
+	return e.Advisor.Recommendations(e.mergedRecords(), e.secondaryStates(), buildCost)
+}
+
+// ApplyRecommendations executes the advisor's current recommendations —
+// building and dropping secondary indexes — and returns the ones
+// applied. The engine serves queries throughout; each build or drop is
+// an atomic swap of the index set.
+func (e *Engine) ApplyRecommendations(ctx context.Context) ([]advisor.Recommendation, error) {
+	var applied []advisor.Recommendation
+	for _, rec := range e.Recommendations() {
+		switch rec.Action {
+		case "build":
+			if _, err := e.BuildSecondary(ctx, rec.Primary); err != nil {
+				return applied, err
+			}
+		case "drop":
+			if !e.DropSecondary(rec.Primary) {
+				continue
+			}
+		default:
+			continue
+		}
+		e.recsApplied.Inc()
+		applied = append(applied, rec)
+	}
+	return applied, nil
+}

@@ -7,8 +7,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
+	"colarm/internal/advisor"
 	"colarm/internal/cost"
 	"colarm/internal/delta"
 	"colarm/internal/mip"
@@ -67,6 +69,13 @@ type Options struct {
 	// cross-shard closure merge on small item spaces, global re-mine on
 	// large ones). Ignored when Shards <= 1.
 	ShardCatalog shard.CatalogMode
+	// Advisor tunes the self-tuning optimizer (online cost
+	// recalibration and the workload-driven index advisor); zero values
+	// select the documented defaults. The advisor itself is always on —
+	// observation is a few ring appends per query — while recalibration
+	// swaps and index builds happen only through explicit Recalibrate /
+	// ApplyRecommendations calls (or a serving layer's policy loop).
+	Advisor advisor.Config
 }
 
 // Engine is a ready-to-query COLARM instance over one dataset.
@@ -102,6 +111,18 @@ type Engine struct {
 	// Accuracy is the running plan-choice accuracy tracker fed by
 	// EvaluatePlans.
 	Accuracy *obs.AccuracyTracker
+	// Advisor is the self-tuning state: the online cost recalibrator
+	// and the workload log behind index recommendations. Non-nil after
+	// InitObservability; shared across Rebuild generations so
+	// calibration survives engine swaps.
+	Advisor *advisor.Advisor
+
+	// secondaries are extra physical MIP-indexes at lower primary
+	// supports, installed by the index advisor; the optimizer's argmin
+	// spans (plan × index) pairs. Guarded by secMu; the base index
+	// stays immutable as ever.
+	secMu       sync.RWMutex
+	secondaries []*secondaryIndex
 
 	queries      *obs.Counter
 	queryErrors  *obs.Counter
@@ -117,6 +138,13 @@ type Engine struct {
 	deltaQueries   *obs.Counter
 	rebuilds       *obs.Counter
 	rebuildSeconds *obs.Histogram
+
+	recalSwaps  *obs.Counter
+	driftMicro  *obs.Gauge
+	recsApplied *obs.Counter
+	secBuilds   *obs.Counter
+	secDrops    *obs.Counter
+	secChosen   *obs.Counter
 
 	opts    Options
 	dataset string
@@ -259,6 +287,24 @@ func (e *Engine) InitObservability(dataset string, reg *obs.Registry, accuracyTo
 		"Full index rebuilds absorbing the delta store.")
 	e.rebuildSeconds = reg.Histogram("colarm_rebuild_seconds", labels,
 		"Duration of full index rebuilds.", nil)
+	if e.Advisor == nil {
+		// The static reference the recalibrator measures every bias
+		// against is the model's build-time units (defaults or the
+		// calibration micro-benchmark's measurements).
+		e.Advisor = advisor.New(e.Model.U, e.opts.Advisor)
+	}
+	e.recalSwaps = reg.CounterWith("colarm_advisor_recalibrations_total", labels,
+		"Live cost-unit swaps applied by the online recalibrator.")
+	e.driftMicro = reg.GaugeWith("colarm_advisor_drift_micro", labels,
+		"Drift score between live units and the evidence's candidate units, in millionths.")
+	e.recsApplied = reg.CounterWith("colarm_advisor_recommendations_applied_total", labels,
+		"Index-advisor recommendations applied (builds plus drops).")
+	e.secBuilds = reg.CounterWith("colarm_secondary_index_builds_total", labels,
+		"Secondary MIP-index builds installed beside the base index.")
+	e.secDrops = reg.CounterWith("colarm_secondary_index_drops_total", labels,
+		"Secondary MIP-indexes dropped.")
+	e.secChosen = reg.CounterWith("colarm_secondary_index_chosen_total", labels,
+		"Queries the multi-index argmin routed to a secondary index.")
 	if e.Coll != nil {
 		// Per-shard physical-index observability: one build-duration
 		// histogram for the engine plus a rebuild counter per shard, fed
@@ -373,6 +419,7 @@ func (e *Engine) Rebuild(ctx context.Context) (*Engine, error) {
 		opts := e.opts
 		opts.Metrics = e.Metrics
 		fresh := Assemble(idx, opts)
+		fresh.Advisor = e.Advisor
 		fresh.Delta.SetRebuildCost(time.Since(start))
 		e.rebuilds.Inc()
 		e.rebuildSeconds.Observe(time.Since(start))
@@ -389,6 +436,10 @@ func (e *Engine) Rebuild(ctx context.Context) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Calibration and the workload log survive the swap; secondary
+	// indexes do not — they were mined over the pre-rebuild surface and
+	// the advisor will recommend rebuilding any that still pay.
+	fresh.Advisor = e.Advisor
 	e.rebuilds.Inc()
 	e.rebuildSeconds.Observe(time.Since(start))
 	return fresh, nil
@@ -409,15 +460,16 @@ func (e *Engine) MineContext(ctx context.Context, q *plans.Query) (*plans.Result
 		e.queryErrors.Inc()
 		return nil, nil, err
 	}
-	kind, ests := e.choosePlan(q)
-	e.chosen[kind].Inc()
-	res, err := e.Executor.RunContext(ctx, kind, q)
+	ch := e.choose(q)
+	e.chosen[ch.kind].Inc()
+	res, err := ch.executor(e).RunContext(ctx, ch.kind, q)
 	e.observe(res, err)
 	e.noteDelta(q, err)
 	if err != nil {
-		return nil, ests, err
+		return nil, ch.ests, err
 	}
-	return res, ests, nil
+	e.noteAdvisor(q, ch, res)
+	return res, ch.ests, nil
 }
 
 // MineWith bypasses the optimizer and executes a specific plan.
@@ -463,20 +515,22 @@ func (e *Engine) EvaluatePlans(q *plans.Query) (*ChoiceEvaluation, error) {
 	}
 	qc := *q
 	qc.Trace = nil
-	kind, ests := e.choosePlan(&qc)
-	ev := &ChoiceEvaluation{Chosen: kind}
+	ch := e.choose(&qc)
+	ev := &ChoiceEvaluation{Chosen: ch.kind}
 	var chosenT, bestT time.Duration
-	for _, est := range ests {
+	measured := make([]time.Duration, 0, len(ch.ests))
+	for _, est := range ch.ests {
 		res, err := e.Executor.Run(est.Plan, &qc)
 		if err != nil {
 			return nil, err
 		}
 		d := res.Stats.Duration
 		ev.Plans = append(ev.Plans, PlanMeasurement{Plan: est.Plan, Predicted: est.Total, Measured: d})
+		measured = append(measured, d)
 		if len(ev.Plans) == 1 || d < bestT {
 			bestT, ev.Best = d, est.Plan
 		}
-		if est.Plan == kind {
+		if est.Plan == ch.kind {
 			chosenT = d
 		}
 	}
@@ -488,6 +542,7 @@ func (e *Engine) EvaluatePlans(q *plans.Query) (*ChoiceEvaluation, error) {
 	if ev.Correct {
 		e.evalsCorrect.Inc()
 	}
+	e.noteChoiceEvaluation(&qc, ch, measured)
 	return ev, nil
 }
 
@@ -517,13 +572,12 @@ func (e *Engine) ExplainContext(ctx context.Context, q *plans.Query) (plans.Kind
 // threshold over the executor's current surface falls below the
 // primary-support count, every MIP-backed plan would silently drop
 // rules that are frequent only inside the focal subset, so the choice
-// is overridden to ARM — completeness outranks the cost estimate.
+// is overridden to ARM — completeness outranks the cost estimate —
+// unless a fresh secondary index at a lower primary support reclaims
+// the query (see choose in advisor.go for the multi-index argmin).
 func (e *Engine) choosePlan(q *plans.Query) (plans.Kind, []cost.Estimate) {
-	kind, ests := e.Model.Choose(q)
-	if kind != plans.ARM && !e.Executor.Applicable(q) {
-		kind = plans.ARM
-	}
-	return kind, ests
+	ch := e.choose(q)
+	return ch.kind, ch.ests
 }
 
 // QuerySpec is a plan-agnostic description of a mining request using

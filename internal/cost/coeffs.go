@@ -1,0 +1,112 @@
+package cost
+
+import "colarm/internal/plans"
+
+// Every plan estimate is an exactly linear function of the unit costs:
+// each term multiplies a shape-derived operation count by one unit, the
+// shape itself (probe fractions, subset sizes, lattice estimates) never
+// reads the units, and the only branch that could couple them —
+// AutoCheck's scan-vs-bitmap threshold — depends on the subset size
+// alone. The decomposition below exploits that: evaluating the
+// estimator once per basis unit vector over one shared query shape
+// recovers the exact per-operator coefficient vectors, so an estimate
+// under any alternative units is a dot product. This is what makes
+// online recalibration cheap — the advisor replays logged plan choices
+// under candidate units without re-probing the index.
+
+// NumUnits is the dimension of the unit-cost vector.
+const NumUnits = 5
+
+// UnitNames returns the unit names in vector order (matching Vec).
+func UnitNames() [NumUnits]string {
+	return [NumUnits]string{"wordOp", "boxRel", "idProbe", "mapOp", "genOp"}
+}
+
+// Vec returns the units as a vector in UnitNames order.
+func (u Units) Vec() [NumUnits]float64 {
+	return [NumUnits]float64{u.WordOp, u.BoxRel, u.IDProbe, u.MapOp, u.GenOp}
+}
+
+// UnitsFromVec is the inverse of Vec.
+func UnitsFromVec(v [NumUnits]float64) Units {
+	return Units{WordOp: v[0], BoxRel: v[1], IDProbe: v[2], MapOp: v[3], GenOp: v[4]}
+}
+
+// TermCoeffs is one operator-labeled cost term decomposed over the unit
+// basis: the term's cost under units u is the dot product Coeff · u.
+type TermCoeffs struct {
+	Operator string
+	Coeff    [NumUnits]float64
+}
+
+// Cost evaluates the term under the given units.
+func (t TermCoeffs) Cost(u Units) float64 {
+	return dot(t.Coeff, u.Vec())
+}
+
+// PlanCoeffs is one plan's full estimate decomposed over the unit
+// basis, term by term in pipeline order (matching Estimate.Terms).
+type PlanCoeffs struct {
+	Plan  plans.Kind
+	Terms []TermCoeffs
+}
+
+// Total evaluates the plan's total estimated cost under the given
+// units — exactly what estimating with those units would return.
+func (pc PlanCoeffs) Total(u Units) float64 {
+	return dot(pc.TotalCoeff(), u.Vec())
+}
+
+// TotalCoeff sums the term coefficient vectors: the plan's total cost
+// as a linear form over the units.
+func (pc PlanCoeffs) TotalCoeff() [NumUnits]float64 {
+	var out [NumUnits]float64
+	for _, t := range pc.Terms {
+		for i, c := range t.Coeff {
+			out[i] += c
+		}
+	}
+	return out
+}
+
+func dot(a, b [NumUnits]float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Decompose computes the unit-basis coefficient decomposition of every
+// plan's estimate for the query, sharing one query shape (one round of
+// index and record probes) across all plans and basis vectors. The
+// returned slice is ordered as plans.Kinds().
+func (mo *Model) Decompose(q *plans.Query) []PlanCoeffs {
+	s := mo.shape(q)
+	out := make([]PlanCoeffs, 0, len(plans.Kinds()))
+	for _, k := range plans.Kinds() {
+		out = append(out, mo.decomposeOne(k, q, s))
+	}
+	return out
+}
+
+func (mo *Model) decomposeOne(k plans.Kind, q *plans.Query, s queryShape) PlanCoeffs {
+	pc := PlanCoeffs{Plan: k}
+	basis := *mo
+	for b := 0; b < NumUnits; b++ {
+		var v [NumUnits]float64
+		v[b] = 1
+		basis.U = UnitsFromVec(v)
+		terms := basis.estimateOne(k, q, s).Terms()
+		if pc.Terms == nil {
+			pc.Terms = make([]TermCoeffs, len(terms))
+			for i, t := range terms {
+				pc.Terms[i].Operator = t.Operator
+			}
+		}
+		for i, t := range terms {
+			pc.Terms[i].Coeff[b] = t.Cost
+		}
+	}
+	return pc
+}

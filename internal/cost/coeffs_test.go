@@ -1,0 +1,79 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"colarm/internal/itemset"
+	"colarm/internal/plans"
+)
+
+func TestUnitsVecRoundTrip(t *testing.T) {
+	u := Units{WordOp: 1, BoxRel: 2, IDProbe: 3, MapOp: 4, GenOp: 5}
+	if got := UnitsFromVec(u.Vec()); got != u {
+		t.Fatalf("round trip: %+v != %+v", got, u)
+	}
+	names := UnitNames()
+	if names[0] != "wordOp" || names[4] != "genOp" {
+		t.Fatalf("unit names out of order: %v", names)
+	}
+}
+
+// TestDecomposeExact pins the property the recalibrator relies on: the
+// estimates are exactly linear in the units, so the basis decomposition
+// reproduces any-units estimates as dot products — totals and
+// per-operator terms alike.
+func TestDecomposeExact(t *testing.T) {
+	mo, _ := buildModel(t, 400)
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 6; trial++ {
+		reg := itemset.RegionFor(mo.Idx.Space)
+		a := r.Intn(mo.Idx.Space.NumAttrs())
+		if err := reg.Restrict(a, []int{0, 1}); err != nil {
+			t.Fatal(err)
+		}
+		q := &plans.Query{Region: reg, MinSupport: 0.2 + r.Float64()*0.5, MinConfidence: 0.8}
+		coeffs := mo.Decompose(q)
+		if len(coeffs) != len(plans.Kinds()) {
+			t.Fatalf("decompose returned %d plans", len(coeffs))
+		}
+		for probe := 0; probe < 3; probe++ {
+			u := Units{
+				WordOp:  r.Float64()*10 + 0.1,
+				BoxRel:  r.Float64()*10 + 0.1,
+				IDProbe: r.Float64()*10 + 0.1,
+				MapOp:   r.Float64()*20 + 0.1,
+				GenOp:   r.Float64()*40 + 0.1,
+			}
+			alt := *mo
+			alt.U = u
+			ests := alt.Estimate(q)
+			for i, pc := range coeffs {
+				if pc.Plan != ests[i].Plan {
+					t.Fatalf("plan order mismatch: %v vs %v", pc.Plan, ests[i].Plan)
+				}
+				if got, want := pc.Total(u), ests[i].Total; !closeEnough(got, want) {
+					t.Errorf("%v total via coeffs %v != estimate %v", pc.Plan, got, want)
+				}
+				terms := ests[i].Terms()
+				if len(terms) != len(pc.Terms) {
+					t.Fatalf("%v term count %d != %d", pc.Plan, len(pc.Terms), len(terms))
+				}
+				for j, term := range terms {
+					if pc.Terms[j].Operator != term.Operator {
+						t.Errorf("%v term %d operator %q != %q", pc.Plan, j, pc.Terms[j].Operator, term.Operator)
+					}
+					if got := pc.Terms[j].Cost(u); !closeEnough(got, term.Cost) {
+						t.Errorf("%v term %s via coeffs %v != %v", pc.Plan, term.Operator, got, term.Cost)
+					}
+				}
+			}
+		}
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	diff := math.Abs(a - b)
+	return diff <= 1e-9 || diff <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}

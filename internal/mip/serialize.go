@@ -83,6 +83,19 @@ type SnapshotMeta struct {
 	DeltaRows [][]int32
 	// DeltaDels are the deleted record ids (base or buffered id space).
 	DeltaDels []int32
+	// Secondaries carry the advisor-built secondary MIP-indexes that
+	// were fresh at save time. The field is gob-optional: older readers
+	// silently drop it, which is benign — a secondary is a rebuildable
+	// performance cache, never a correctness dependency.
+	Secondaries []SecondarySnapshot
+}
+
+// SecondarySnapshot is one secondary index riding inside a snapshot:
+// the primary-support fraction it was mined at and its own full
+// snapshot stream (a nested WriteSnapshot payload).
+type SecondarySnapshot struct {
+	Primary float64
+	Blob    []byte
 }
 
 // snapshot is the legacy v2/v3/v4 payload, retained for reading old

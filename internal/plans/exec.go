@@ -110,8 +110,19 @@ func (ex *Executor) view() *View {
 // subset from scratch — returns the full localized answer. The
 // optimizer consults this before honoring its argmin.
 func (ex *Executor) Applicable(q *Query) bool {
+	_, localCount, primaryCount := ex.Localized(q)
+	return localCount >= primaryCount
+}
+
+// Localized exposes the applicability condition's inputs: the focal
+// subset's record count over the executor's current surface, the
+// localized support-count threshold it implies, and the surface's
+// primary-support count. Applicable(q) is localCount >= primaryCount;
+// the index advisor mines the gap between the two to size a secondary
+// index that would reclaim the query.
+func (ex *Executor) Localized(q *Query) (subset, localCount, primaryCount int) {
 	var dq *bitset.Set
-	primaryCount := ex.Idx.PrimaryCount
+	primaryCount = ex.Idx.PrimaryCount
 	if v := ex.view(); v != nil {
 		dq = itemset.RegionTidset(q.Region, ex.Idx.Space, v.Tidsets, v.NumRecords)
 		dq.And(v.Live)
@@ -119,7 +130,8 @@ func (ex *Executor) Applicable(q *Query) bool {
 	} else {
 		dq = ex.Idx.SubsetBitmap(q.Region)
 	}
-	return charm.CountFor(q.MinSupport, dq.Count()) >= primaryCount
+	subset = dq.Count()
+	return subset, charm.CountFor(q.MinSupport, subset), primaryCount
 }
 
 // NewExecutor creates an executor over the given index.

@@ -1,0 +1,271 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"colarm"
+)
+
+// unitCostsJSON is the five-unit cost vector as it appears on the wire.
+type unitCostsJSON struct {
+	WordOp  float64 `json:"wordOp"`
+	BoxRel  float64 `json:"boxRel"`
+	IDProbe float64 `json:"idProbe"`
+	MapOp   float64 `json:"mapOp"`
+	GenOp   float64 `json:"genOp"`
+}
+
+func toUnitCostsJSON(u colarm.UnitCosts) unitCostsJSON {
+	return unitCostsJSON{WordOp: u.WordOp, BoxRel: u.BoxRel, IDProbe: u.IDProbe, MapOp: u.MapOp, GenOp: u.GenOp}
+}
+
+type unitDriftJSON struct {
+	Unit   string  `json:"unit"`
+	Static float64 `json:"static"`
+	Live   float64 `json:"live"`
+	Bias   float64 `json:"bias"`
+	Weight float64 `json:"weight"`
+}
+
+type guardrailJSON struct {
+	Evaluated   bool    `json:"evaluated"`
+	Window      int     `json:"window"`
+	WorstRegret float64 `json:"worstRegret"`
+	Tolerance   float64 `json:"tolerance"`
+	Passed      bool    `json:"passed"`
+}
+
+type calibrationJSON struct {
+	StaticUnits    unitCostsJSON   `json:"staticUnits"`
+	LiveUnits      unitCostsJSON   `json:"liveUnits"`
+	CandidateUnits unitCostsJSON   `json:"candidateUnits"`
+	DriftScore     float64         `json:"driftScore"`
+	Samples        int             `json:"samples"`
+	Streak         int             `json:"streak"`
+	Swapped        bool            `json:"swapped"`
+	Swaps          uint64          `json:"swaps"`
+	LastSwap       string          `json:"lastSwap,omitempty"`
+	Units          []unitDriftJSON `json:"units,omitempty"`
+	Guardrail      guardrailJSON   `json:"guardrail"`
+}
+
+func toCalibrationJSON(c colarm.CalibrationReport) calibrationJSON {
+	out := calibrationJSON{
+		StaticUnits:    toUnitCostsJSON(c.StaticUnits),
+		LiveUnits:      toUnitCostsJSON(c.LiveUnits),
+		CandidateUnits: toUnitCostsJSON(c.CandidateUnits),
+		DriftScore:     c.DriftScore,
+		Samples:        c.Samples,
+		Streak:         c.Streak,
+		Swapped:        c.Swapped,
+		Swaps:          c.Swaps,
+		Guardrail: guardrailJSON{
+			Evaluated:   c.Guardrail.Evaluated,
+			Window:      c.Guardrail.Window,
+			WorstRegret: c.Guardrail.WorstRegret,
+			Tolerance:   c.Guardrail.Tolerance,
+			Passed:      c.Guardrail.Passed,
+		},
+	}
+	if !c.LastSwap.IsZero() {
+		out.LastSwap = c.LastSwap.UTC().Format(time.RFC3339Nano)
+	}
+	for _, u := range c.Units {
+		out.Units = append(out.Units, unitDriftJSON{Unit: u.Unit, Static: u.Static, Live: u.Live, Bias: u.Bias, Weight: u.Weight})
+	}
+	return out
+}
+
+type recommendationJSON struct {
+	Action         string  `json:"action"`
+	PrimarySupport float64 `json:"primarySupport"`
+	PrimaryCount   int     `json:"primaryCount"`
+	BenefitNanos   int64   `json:"benefitNanos"`
+	BuildCostNanos int64   `json:"buildCostNanos"`
+	Queries        int     `json:"queries"`
+	Reason         string  `json:"reason"`
+}
+
+func toRecommendationsJSON(recs []colarm.IndexRecommendation) []recommendationJSON {
+	out := make([]recommendationJSON, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, recommendationJSON{
+			Action:         r.Action,
+			PrimarySupport: r.PrimarySupport,
+			PrimaryCount:   r.PrimaryCount,
+			BenefitNanos:   r.BenefitNanos,
+			BuildCostNanos: r.BuildCostNanos,
+			Queries:        r.Queries,
+			Reason:         r.Reason,
+		})
+	}
+	return out
+}
+
+type secondaryIndexJSON struct {
+	PrimarySupport     float64 `json:"primarySupport"`
+	PrimaryCount       int     `json:"primaryCount"`
+	CFIs               int     `json:"cfis"`
+	Fresh              bool    `json:"fresh"`
+	BuildDurationNanos int64   `json:"buildDurationNanos"`
+}
+
+func toSecondariesJSON(secs []colarm.SecondaryIndexInfo) []secondaryIndexJSON {
+	out := make([]secondaryIndexJSON, 0, len(secs))
+	for _, s := range secs {
+		out = append(out, secondaryIndexJSON{
+			PrimarySupport:     s.PrimarySupport,
+			PrimaryCount:       s.PrimaryCount,
+			CFIs:               s.CFIs,
+			Fresh:              s.Fresh,
+			BuildDurationNanos: s.BuildDuration.Nanoseconds(),
+		})
+	}
+	return out
+}
+
+type workloadJSON struct {
+	Window        int `json:"window"`
+	ForcedARM     int `json:"forcedARM"`
+	SecondaryWins int `json:"secondaryWins"`
+}
+
+// advisorResponse is GET /v1/datasets/{name}/advisor: the self-tuning
+// optimizer's full state for one dataset.
+type advisorResponse struct {
+	Dataset         string               `json:"dataset"`
+	Generation      uint64               `json:"generation"`
+	Version         uint64               `json:"version"`
+	Calibration     calibrationJSON      `json:"calibration"`
+	Workload        workloadJSON         `json:"workload"`
+	Recommendations []recommendationJSON `json:"recommendations"`
+	Secondaries     []secondaryIndexJSON `json:"secondaries"`
+}
+
+func (s *Server) handleAdvisor(w http.ResponseWriter, r *http.Request) {
+	s.requests["advisor"].Inc()
+	name := r.PathValue("name")
+	eng, gen, err := s.reg.Get(name)
+	if err != nil {
+		s.fail(w, "advisor", notFoundError{err})
+		return
+	}
+	rep := eng.Advisor()
+	s.writeJSON(w, http.StatusOK, advisorResponse{
+		Dataset:     name,
+		Generation:  gen,
+		Version:     eng.Version(),
+		Calibration: toCalibrationJSON(rep.Calibration),
+		Workload: workloadJSON{
+			Window:        rep.Workload.Window,
+			ForcedARM:     rep.Workload.ForcedARM,
+			SecondaryWins: rep.Workload.SecondaryWins,
+		},
+		Recommendations: toRecommendationsJSON(rep.Recommendations),
+		Secondaries:     toSecondariesJSON(rep.Secondaries),
+	})
+}
+
+// advisorApplyResponse is POST /v1/datasets/{name}/advisor/apply: one
+// explicit self-tuning step — a recalibration evaluation plus the index
+// recommendations that were applied.
+type advisorApplyResponse struct {
+	Dataset     string               `json:"dataset"`
+	Generation  uint64               `json:"generation"`
+	Version     uint64               `json:"version"`
+	Calibration calibrationJSON      `json:"calibration"`
+	Applied     []recommendationJSON `json:"applied"`
+	Secondaries []secondaryIndexJSON `json:"secondaries"`
+}
+
+func (s *Server) handleAdvisorApply(w http.ResponseWriter, r *http.Request) {
+	s.requests["advisor"].Inc()
+	name := r.PathValue("name")
+	eng, gen, err := s.reg.Get(name)
+	if err != nil {
+		s.fail(w, "advisor", notFoundError{err})
+		return
+	}
+	// One explicit self-tuning step, synchronously: recalibrate (the
+	// guardrail replay still gates any unit swap), then build/drop the
+	// secondary indexes the workload pays for. Index builds mine the
+	// merged surface under the request's deadline; the engine keeps
+	// serving queries throughout — each install is an atomic swap.
+	cal := eng.Recalibrate()
+	applied, err := eng.ApplyRecommendations(r.Context())
+	if err != nil {
+		s.fail(w, "advisor", err)
+		return
+	}
+	if len(applied) > 0 {
+		s.advisorApplies.Inc()
+	}
+	s.writeJSON(w, http.StatusOK, advisorApplyResponse{
+		Dataset:     name,
+		Generation:  gen,
+		Version:     eng.Version(),
+		Calibration: toCalibrationJSON(cal),
+		Applied:     toRecommendationsJSON(applied),
+		Secondaries: toSecondariesJSON(eng.SecondaryIndexes()),
+	})
+}
+
+// advisorLoop is the self-tuning policy loop: every AdvisorInterval each
+// registered engine gets one Recalibrate evaluation, and — with
+// AdvisorAutoApply — the index advisor's recommendations are applied.
+func (s *Server) advisorLoop() {
+	defer close(s.advisorDone)
+	t := time.NewTicker(s.cfg.AdvisorInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.advisorStop:
+			return
+		case <-t.C:
+			s.advisorTick()
+		}
+	}
+}
+
+func (s *Server) advisorTick() {
+	s.advisorTicks.Inc()
+	for _, info := range s.reg.List() {
+		eng, _, err := s.reg.Get(info.Name)
+		if err != nil {
+			continue
+		}
+		eng.Recalibrate()
+		if s.cfg.AdvisorAutoApply {
+			if applied, err := eng.ApplyRecommendations(context.Background()); err == nil && len(applied) > 0 {
+				s.advisorApplies.Inc()
+			}
+		}
+	}
+}
+
+// advisorSummaryJSON is the dataset-detail view's self-tuning summary:
+// the units the optimizer is pricing with right now and how far the
+// evidence says they have drifted.
+type advisorSummaryJSON struct {
+	LiveUnits         unitCostsJSON `json:"liveUnits"`
+	DriftScore        float64       `json:"driftScore"`
+	Recalibrations    uint64        `json:"recalibrations"`
+	LastRecalibration string        `json:"lastRecalibration,omitempty"`
+	SecondaryIndexes  int           `json:"secondaryIndexes"`
+}
+
+func toAdvisorSummaryJSON(eng *colarm.Engine) advisorSummaryJSON {
+	rep := eng.Advisor()
+	out := advisorSummaryJSON{
+		LiveUnits:        toUnitCostsJSON(rep.Calibration.LiveUnits),
+		DriftScore:       rep.Calibration.DriftScore,
+		Recalibrations:   rep.Calibration.Swaps,
+		SecondaryIndexes: len(rep.Secondaries),
+	}
+	if !rep.Calibration.LastSwap.IsZero() {
+		out.LastRecalibration = rep.Calibration.LastSwap.UTC().Format(time.RFC3339Nano)
+	}
+	return out
+}

@@ -38,13 +38,11 @@ type errorBody struct {
 }
 
 // errorResponse is the /v1 error envelope: a structured error object
-// plus, for one release, the pre-redesign flat message under
-// legacyError so old clients keep a string to read while they migrate
-// to error.code.
+// under error.code / error.message / error.details. The deprecated
+// flat legacyError field that rode along during the /v1 redesign's
+// migration window has been removed — clients branch on error.code.
 type errorResponse struct {
 	Error errorBody `json:"error"`
-	// Deprecated: read Error.Message; removed next release.
-	LegacyError string `json:"legacyError"`
 }
 
 // badRequestError and notFoundError wrap errors whose status the
@@ -133,5 +131,5 @@ func (s *Server) fail(w http.ResponseWriter, endpoint string, err error) {
 	if errors.As(err, &det) {
 		body.Details = det.errorDetails()
 	}
-	s.writeJSON(w, status, errorResponse{Error: body, LegacyError: err.Error()})
+	s.writeJSON(w, status, errorResponse{Error: body})
 }

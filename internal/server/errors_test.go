@@ -15,7 +15,8 @@ import (
 
 // TestErrorEnvelopeByRoute is the route x error-class table: every /v1
 // error response must carry the structured envelope with the expected
-// machine-readable code, plus the deprecated legacyError string.
+// machine-readable code — and nothing else: the deprecated flat
+// legacyError field is gone.
 func TestErrorEnvelopeByRoute(t *testing.T) {
 	s, _ := newTestServer(t, Config{MaxSubscriptions: 2})
 	h := s.Handler()
@@ -94,6 +95,13 @@ func TestErrorEnvelopeByRoute(t *testing.T) {
 			http.StatusMethodNotAllowed, CodeMethodNotAllowed},
 		{"dataset detail not found", "GET", "/v1/datasets/nope", nil,
 			http.StatusNotFound, CodeNotFound},
+		{"advisor not found", "GET", "/v1/datasets/nope/advisor", nil,
+			http.StatusNotFound, CodeNotFound},
+		{"advisor apply not found", "POST", "/v1/datasets/nope/advisor/apply",
+			map[string]any{},
+			http.StatusNotFound, CodeNotFound},
+		{"advisor wrong method", "DELETE", "/v1/datasets/salary/advisor", nil,
+			http.StatusMethodNotAllowed, CodeMethodNotAllowed},
 	}
 	for _, tc := range cases {
 		var w *httptest.ResponseRecorder
@@ -116,8 +124,16 @@ func TestErrorEnvelopeByRoute(t *testing.T) {
 		if er.Error.Code != tc.code {
 			t.Errorf("%s: error.code %q, want %q", tc.name, er.Error.Code, tc.code)
 		}
-		if er.Error.Message == "" || er.LegacyError == "" {
-			t.Errorf("%s: envelope missing message or legacyError: %s", tc.name, w.Body.String())
+		if er.Error.Message == "" {
+			t.Errorf("%s: envelope missing message: %s", tc.name, w.Body.String())
+		}
+		// The migration-window legacyError field must be gone from the
+		// wire format entirely.
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(w.Body.Bytes(), &raw); err == nil {
+			if _, ok := raw["legacyError"]; ok {
+				t.Errorf("%s: envelope still carries legacyError: %s", tc.name, w.Body.String())
+			}
 		}
 	}
 

@@ -167,7 +167,7 @@ func TestWrongMethod405(t *testing.T) {
 			t.Fatalf("%s %s: Allow %q, want %q", c.method, c.path, got, c.allow)
 		}
 		var er errorResponse
-		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Code == "" || er.LegacyError == "" {
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Code == "" {
 			t.Fatalf("%s %s: body is not a JSON error: %q", c.method, c.path, w.Body.String())
 		}
 	}

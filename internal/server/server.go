@@ -17,7 +17,18 @@
 //	GET    /v1/datasets                 registered datasets, their metadata
 //	                                    and ingestion staleness
 //	GET    /v1/datasets/{name}          one dataset's detail view: value
-//	                                    domains, staleness, version
+//	                                    domains, staleness, version, and
+//	                                    the self-tuning summary (live unit
+//	                                    costs, drift, last recalibration)
+//	GET    /v1/datasets/{name}/advisor  the self-tuning optimizer's full
+//	                                    state: calibration, workload
+//	                                    summary, index recommendations,
+//	                                    installed secondary indexes
+//	POST   /v1/datasets/{name}/advisor/apply
+//	                                    run one explicit self-tuning step:
+//	                                    a recalibration evaluation plus
+//	                                    the index builds/drops the
+//	                                    workload pays for
 //	POST   /v1/subscriptions            register a standing query (201 +
 //	                                    Location)
 //	GET    /v1/subscriptions            list standing subscriptions
@@ -35,8 +46,7 @@
 // A request with a wrong method on any /v1 route is answered with a
 // JSON 405 carrying an Allow header. Every /v1 error response is the
 // structured envelope {"error": {"code", "message", "details"}} with a
-// machine-readable code (plus a deprecated legacyError string for one
-// release).
+// machine-readable code.
 //
 // Ingested transactions are merged into every subsequent answer, so
 // queries stay exact while the base index ages; when the accumulated
@@ -103,6 +113,15 @@ type Config struct {
 	// SSEHeartbeat is the keep-alive comment interval on idle event
 	// streams (default 15s).
 	SSEHeartbeat time.Duration
+	// AdvisorInterval, when positive, runs the self-tuning policy loop:
+	// every interval each registered engine gets one Recalibrate
+	// evaluation (unit swaps still gated by the guardrail replay).
+	// 0 disables the loop; the advisor endpoints work either way.
+	AdvisorInterval time.Duration
+	// AdvisorAutoApply additionally applies the index advisor's
+	// recommendations (secondary index builds and drops) on each policy
+	// tick. Ignored without AdvisorInterval.
+	AdvisorAutoApply bool
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +168,11 @@ type Server struct {
 	rebuildsStarted *obs.Counter
 	rebuildsFailed  *obs.Counter
 
+	advisorTicks   *obs.Counter
+	advisorApplies *obs.Counter
+	advisorStop    chan struct{}
+	advisorDone    chan struct{}
+
 	// ing serializes delta mutations against engine swaps: an ingest
 	// applies, and a rebuild starts or registers its result, only under
 	// this lock, so no accepted transaction can slip into an engine
@@ -183,7 +207,7 @@ func New(reg *Registry, cfg Config) *Server {
 	if cfg.CacheEntries > 0 {
 		s.cache = newResultCache(cfg.CacheEntries, cfg.CacheTTL, m)
 	}
-	for _, ep := range []string{"mine", "explain", "ingest", "datasets", "metrics", "subscriptions", "events"} {
+	for _, ep := range []string{"mine", "explain", "ingest", "datasets", "metrics", "subscriptions", "events", "advisor"} {
 		labels := fmt.Sprintf("endpoint=%q", ep)
 		s.requests[ep] = m.CounterWith("colarm_http_requests_total", labels, "HTTP requests served, by endpoint.")
 		s.errors[ep] = m.CounterWith("colarm_http_request_errors_total", labels, "HTTP requests answered with a non-2xx status, by endpoint.")
@@ -201,13 +225,29 @@ func New(reg *Registry, cfg Config) *Server {
 			s.standing.Attach(info.Name, eng)
 		}
 	}
+	s.advisorTicks = m.Counter("colarm_server_advisor_ticks_total",
+		"Self-tuning policy loop ticks (one Recalibrate evaluation per engine each).")
+	s.advisorApplies = m.Counter("colarm_server_advisor_applies_total",
+		"Index-advisor recommendation batches applied (by the policy loop or POST .../advisor/apply).")
+	if cfg.AdvisorInterval > 0 {
+		s.advisorStop = make(chan struct{})
+		s.advisorDone = make(chan struct{})
+		go s.advisorLoop()
+	}
 	return s
 }
 
 // Close stops the standing-query manager (terminating every
-// subscription) and releases the server's background resources. The
-// HTTP handler must not be used after Close.
-func (s *Server) Close() { s.standing.Close() }
+// subscription) and the advisor policy loop, releasing the server's
+// background resources. The HTTP handler must not be used after Close.
+func (s *Server) Close() {
+	if s.advisorStop != nil {
+		close(s.advisorStop)
+		<-s.advisorDone
+		s.advisorStop = nil
+	}
+	s.standing.Close()
+}
 
 // mineRequest is the JSON body of /v1/mine and /v1/explain. Exactly one
 // of QL (a COLARM-QL statement, also accepted as a raw text/plain body)
@@ -504,6 +544,10 @@ type datasetDetail struct {
 	Staleness     stalenessJSON       `json:"staleness"`
 	Domains       map[string][]string `json:"domains"`
 	Subscriptions int                 `json:"subscriptions"`
+	// Advisor summarizes the self-tuning optimizer: the live-calibrated
+	// unit costs, the drift score and the last recalibration time (the
+	// full state lives at /v1/datasets/{name}/advisor).
+	Advisor advisorSummaryJSON `json:"advisor"`
 }
 
 func (s *Server) handleDatasetDetail(w http.ResponseWriter, r *http.Request) {
@@ -549,6 +593,7 @@ func (s *Server) handleDatasetDetail(w http.ResponseWriter, r *http.Request) {
 			detail.Subscriptions++
 		}
 	}
+	detail.Advisor = toAdvisorSummaryJSON(eng)
 	s.writeJSON(w, http.StatusOK, detail)
 }
 

@@ -208,7 +208,7 @@ func TestErrorStatuses(t *testing.T) {
 			t.Errorf("%s: status = %d, want %d (body: %s)", tc.name, w.Code, tc.want, w.Body.String())
 		}
 		var e errorResponse
-		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error.Code == "" || e.LegacyError == "" {
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error.Code == "" {
 			t.Errorf("%s: error body not JSON with message: %s", tc.name, w.Body.String())
 		}
 	}

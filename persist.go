@@ -1,6 +1,7 @@
 package colarm
 
 import (
+	"bytes"
 	"io"
 	"os"
 
@@ -26,6 +27,18 @@ func (e *Engine) Save(w io.Writer) error {
 	}
 	for _, id := range dels {
 		meta.DeltaDels = append(meta.DeltaDels, int32(id))
+	}
+	// Advisor-built secondary indexes ride along as nested snapshots —
+	// fresh ones only, since a stale secondary can never be consulted.
+	// On load they restore fresh against the replayed delta, because the
+	// merged surface they were mined over is byte-identical.
+	primaries, indexes := e.eng.FreshSecondaryIndexes()
+	for i, idx := range indexes {
+		var buf bytes.Buffer
+		if _, err := idx.WriteSnapshot(&buf, mip.SnapshotMeta{Primary: primaries[i]}); err != nil {
+			return err
+		}
+		meta.Secondaries = append(meta.Secondaries, mip.SecondarySnapshot{Primary: primaries[i], Blob: buf.Bytes()})
 	}
 	_, err := e.eng.Index.WriteSnapshot(w, meta)
 	return err
@@ -97,6 +110,16 @@ func engineFromIndex(idx *mip.Index, meta mip.SnapshotMeta, opts Options) (*Engi
 		} else if _, err := eng.Delta.Ingest(meta.DeltaRows, dels); err != nil {
 			return nil, err
 		}
+	}
+	// Reinstall the secondary indexes after the delta replay: they were
+	// saved fresh, and the replayed store reproduces the exact merged
+	// surface they were mined over, so they restore fresh too.
+	for _, sec := range meta.Secondaries {
+		sidx, _, err := mip.ReadSnapshot(bytes.NewReader(sec.Blob))
+		if err != nil {
+			return nil, err
+		}
+		eng.RestoreSecondary(sidx, sec.Primary)
 	}
 	return &Engine{
 		eng:           eng,

@@ -6,8 +6,12 @@ never runs a benchmark itself:
 
  1. every artifact is well-formed and carries the fields its bench kind
     promises (tidset rows, shards rows, the index report's kernel and
-    consolidation sections, or the standing report's notify-latency
-    rows);
+    consolidation sections, the standing report's notify-latency rows,
+    or the advisor report's calibration and skewed-workload sections —
+    where the guardrail replay must have passed, plan-choice accuracy
+    and mean latency must not collapse after a unit swap, and the
+    queries the secondary index reclaimed from forced-ARM must actually
+    have gotten faster);
  2. inside every "index" report the flat layout must win (or tie) each
     physical kernel it is benchmarked on against the pointer layout —
     the flat slabs exist for speed, so a committed artifact showing the
@@ -102,8 +106,77 @@ def validate_shape(name, rep):
             if row["diffs_computed"] > 2 * ceiling:
                 fail(f"{name}: standing row computed {row['diffs_computed']} diffs "
                      f"for only {ceiling} (subscription x batch) pairs")
+    elif kind == "advisor":
+        validate_advisor(name, rep)
     else:
         fail(f"{name}: unknown bench kind {kind!r}")
+
+
+# Post-recalibration accuracy may dip on near-tie plan choices (the
+# measurements behind "correct" are single-shot wall clocks), and the
+# skewed-workload mean absorbs the per-query cost of pricing the extra
+# secondary index; both get a noise/overhead allowance. The reclaimed
+# differential is the hard claim and gets none.
+ACCURACY_SLACK = 0.15          # absolute plan-choice accuracy drop allowed
+CALIBRATION_MEAN_SLACK = 1.25  # mean-latency growth allowed after a unit swap
+SKEWED_MEAN_SLACK = 1.50       # overall-mean growth allowed after index install
+
+
+def validate_advisor(name, rep):
+    cal = rep.get("calibration")
+    if not cal:
+        fail(f"{name}: advisor report has no calibration section")
+    for field in ("accuracy_before", "accuracy_after", "mean_before_ns",
+                  "mean_after_ns", "samples", "guardrail_window",
+                  "guardrail_worst_regret", "guardrail_tolerance"):
+        if field not in cal:
+            fail(f"{name}: calibration section missing {field}")
+    if cal["samples"] <= 0:
+        fail(f"{name}: recalibration ran on zero timing samples")
+    if cal.get("recalibrated"):
+        if not cal.get("guardrail_passed"):
+            fail(f"{name}: units were swapped without a passing guardrail replay")
+        if cal["guardrail_worst_regret"] > cal["guardrail_tolerance"]:
+            fail(f"{name}: guardrail worst regret {cal['guardrail_worst_regret']:.3f} "
+                 f"exceeds tolerance {cal['guardrail_tolerance']:.3f}")
+    if cal["accuracy_after"] < cal["accuracy_before"] - ACCURACY_SLACK:
+        fail(f"{name}: plan-choice accuracy collapsed after recalibration "
+             f"({cal['accuracy_before']:.3f} -> {cal['accuracy_after']:.3f})")
+    if cal["mean_after_ns"] > cal["mean_before_ns"] * CALIBRATION_MEAN_SLACK:
+        fail(f"{name}: mean mine latency regressed >{CALIBRATION_MEAN_SLACK - 1:.0%} "
+             f"after recalibration ({cal['mean_before_ns']} -> {cal['mean_after_ns']} ns)")
+    print(f"check_bench: {name}: recalibration accuracy "
+          f"{cal['accuracy_before']:.3f} -> {cal['accuracy_after']:.3f}, guardrail "
+          f"worst regret {cal['guardrail_worst_regret']:.3f} "
+          f"<= {cal['guardrail_tolerance']:.3f}")
+
+    sk = rep.get("skewed")
+    if not sk:
+        fail(f"{name}: advisor report has no skewed section")
+    for field in ("base_primary", "secondary_primary", "forced_arm",
+                  "secondary_wins", "skewed_mean_before_ns", "skewed_mean_after_ns",
+                  "reclaimed_mean_before_ns", "reclaimed_mean_after_ns"):
+        if field not in sk:
+            fail(f"{name}: skewed section missing {field}")
+    if sk["forced_arm"] <= 0:
+        fail(f"{name}: skewed workload never hit the applicability gate, "
+             f"so there was nothing for the advisor to reclaim")
+    if not 0 < sk["secondary_primary"] < sk["base_primary"]:
+        fail(f"{name}: recommended secondary primary {sk['secondary_primary']} "
+             f"does not undercut the base index's {sk['base_primary']}")
+    if sk["secondary_wins"] < 1:
+        fail(f"{name}: the recommended secondary index won zero queries")
+    if sk["reclaimed_mean_after_ns"] >= sk["reclaimed_mean_before_ns"]:
+        fail(f"{name}: reclaimed queries did not get faster "
+             f"({sk['reclaimed_mean_before_ns']} -> {sk['reclaimed_mean_after_ns']} ns)")
+    if sk["skewed_mean_after_ns"] > sk["skewed_mean_before_ns"] * SKEWED_MEAN_SLACK:
+        fail(f"{name}: overall skewed mean regressed >{SKEWED_MEAN_SLACK - 1:.0%} "
+             f"after index install ({sk['skewed_mean_before_ns']} -> "
+             f"{sk['skewed_mean_after_ns']} ns)")
+    print(f"check_bench: {name}: secondary at primary "
+          f"{sk['secondary_primary']:.3f} won {sk['secondary_wins']} queries, "
+          f"reclaimed mean {sk['reclaimed_mean_before_ns']} -> "
+          f"{sk['reclaimed_mean_after_ns']} ns")
 
 
 def kernel_ns(rep, section, layout):
